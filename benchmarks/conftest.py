@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures,
+printing the same rows/series the paper reports and persisting them
+under ``benchmarks/reports/`` (pytest captures stdout, so the files
+are the reliable record).  The heavyweight Figure 8 sweep runs once
+per session and is shared by the 8(a)/8(b)/8(c) benchmarks.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import ExperimentConfig
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+#: Full-experiment configuration (the scaled evaluation device).
+BENCH_CONFIG = ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    """Persist one experiment report and echo it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def fig8_results():
+    """The full Figure 8 comparison: 4 FTLs x 5 workloads."""
+    return run_fig8(config=BENCH_CONFIG, utilization=0.75, seed=1)

@@ -1,0 +1,32 @@
+"""Ablation: write-buffer capacity.
+
+The buffer is the policy manager's sensor (``u``) *and* the burst
+absorber.  Too small and every burst is drain-limited from the first
+page; large enough and bursts vanish into RAM entirely, taking the
+FTL differences with them.  The sweep shows where the paper-relevant
+regime lives.
+"""
+
+import dataclasses
+
+from repro.experiments.sweep import render_sweep, run_sweep
+
+from conftest import BENCH_CONFIG
+
+
+def test_ablation_buffer_capacity(benchmark, save_report):
+    def sweep():
+        return run_sweep(
+            axes={"buffer_pages": (64, 256, 1024)},
+            config_builder=lambda p: dataclasses.replace(
+                BENCH_CONFIG, buffer_pages=int(p["buffer_pages"])),
+            ftl="flexFTL", workload="Varmail", total_ops=12000,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report("ablation_buffer_capacity", render_sweep(rows))
+
+    by_size = {row.params["buffer_pages"]: row for row in rows}
+    # A larger buffer can only help admission-side IOPS.
+    assert by_size[1024].result.iops >= 0.95 * by_size[64].result.iops
+    assert all(row.result.iops > 0 for row in rows)

@@ -1,0 +1,37 @@
+"""Ablation A3: parity-sharing granularity.
+
+The paper's argument: under FPS at most two LSB pages can share one
+parity page, while RPS + 2PO lets a whole block share one.  This sweep
+quantifies the backup-write and erasure cost at several granularities.
+"""
+
+from repro.experiments.ablation import render_ablation, run_parity_ablation
+
+from conftest import BENCH_CONFIG
+
+
+def test_ablation_parity_granularity(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: run_parity_ablation(
+            intervals=(2, 8, 0), workload="Fileserver",
+            total_ops=12000, config=BENCH_CONFIG),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_parity_granularity",
+                render_ablation(list(points.values())))
+
+    per_block = points["flexFTL (per block)"].result
+    per_two = points["flexFTL (per 2 LSBs)"].result
+    per_eight = points["flexFTL (per 8 LSBs)"].result
+    parity_ftl = points["parityFTL (per 2 LSBs, FPS)"].result
+
+    # Backup-write volume falls monotonically with coarser sharing.
+    assert per_block.counters["backup_programs"] < \
+        per_eight.counters["backup_programs"] < \
+        per_two.counters["backup_programs"]
+    # The per-block scheme (only possible under RPS) writes an order
+    # of magnitude fewer parity pages than the FPS ceiling.
+    assert per_block.counters["backup_programs"] * 5 < \
+        parity_ftl.counters["backup_programs"]
+    # ... which shows up as fewer erasures.
+    assert per_block.erases <= parity_ftl.erases

@@ -1,0 +1,22 @@
+"""Ablation A1: the initial LSB-write quota (paper: 5% of LSB pages)."""
+
+from repro.experiments.ablation import render_ablation, run_quota_ablation
+
+from conftest import BENCH_CONFIG
+
+
+def test_ablation_quota_fraction(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: run_quota_ablation(
+            fractions=(0.0125, 0.05, 0.2), workload="Varmail",
+            total_ops=12000, config=BENCH_CONFIG),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_quota_fraction", render_ablation(points))
+
+    by_label = {point.label: point for point in points}
+    # A larger quota admits longer LSB bursts: peak bandwidth should
+    # not degrade as the quota grows.
+    assert by_label["q0=0.2"].peak_bandwidth >= \
+        0.9 * by_label["q0=0.0125"].peak_bandwidth
+    assert all(point.iops > 0 for point in points)

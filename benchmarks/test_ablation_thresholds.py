@@ -1,0 +1,28 @@
+"""Ablation A2: the utilisation thresholds (paper: u_high=0.8,
+u_low=0.1)."""
+
+from repro.experiments.ablation import (
+    render_ablation,
+    run_threshold_ablation,
+)
+
+from conftest import BENCH_CONFIG
+
+
+def test_ablation_utilization_thresholds(benchmark, save_report):
+    points = benchmark.pedantic(
+        lambda: run_threshold_ablation(
+            pairs=((0.5, 0.05), (0.8, 0.1), (0.99, 0.0)),
+            workload="Varmail", total_ops=12000, config=BENCH_CONFIG),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_utilization_thresholds",
+                render_ablation(points))
+
+    assert len(points) == 3
+    assert all(point.iops > 0 for point in points)
+    # A lower u_high engages LSB-burst mode earlier; peak bandwidth
+    # should be at least as good as with a nearly-disabled trigger.
+    eager = points[0]
+    reluctant = points[2]
+    assert eager.peak_bandwidth >= 0.9 * reluctant.peak_bandwidth

@@ -1,0 +1,29 @@
+"""Extension: endurance sweep — BER vs P/E cycles through the ECC lens.
+
+Extends Figure 4(b) along the stress axis and converts raw BER into
+usable lifetime: RPS must track FPS cycle for cycle.
+"""
+
+from repro.experiments.endurance import run_endurance_sweep
+
+
+def test_endurance_sweep(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_endurance_sweep(blocks=12, wordlines=24, seed=4),
+        rounds=1, iterations=1,
+    )
+    save_report("endurance_sweep", result.render())
+
+    # RPSfull tracks FPS at every stress point (identical aggressor
+    # profiles => identical BER curves => identical endurance).
+    assert result.median_ber["RPSfull"] == result.median_ber["FPS"]
+    assert result.endurance["RPSfull"] == result.endurance["FPS"]
+    assert result.endurance["FPS"] is not None
+    # The unconstrained order loses endurance outright.
+    fps_limit = result.endurance["FPS"]
+    unconstrained_limit = result.endurance["unconstrained"]
+    assert unconstrained_limit is None \
+        or unconstrained_limit < fps_limit
+    # BER grows with stress for every scheme.
+    for bers in result.median_ber.values():
+        assert bers[-1] >= bers[0]

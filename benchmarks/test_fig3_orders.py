@@ -1,0 +1,51 @@
+"""Figures 2(b)/3: program-order generation and validation at the
+paper's block size (128 word lines, 256 pages)."""
+
+import random
+
+from repro.core.rps import (
+    describe_order,
+    fps_order,
+    is_valid_order,
+    random_rps_order,
+    rps_full_order,
+    rps_half_order,
+)
+from repro.metrics.report import render_table
+from repro.nand.sequence import SequenceScheme
+
+WORDLINES = 128  # the paper's 256-page block
+
+
+def test_fig3_order_generation_and_validation(benchmark, save_report):
+    def generate_and_validate():
+        rng = random.Random(1)
+        orders = {
+            "FPS (Fig. 2(b))": fps_order(WORDLINES),
+            "RPSfull (Fig. 3(a))": rps_full_order(WORDLINES),
+            "RPShalf (Fig. 3(b))": rps_half_order(WORDLINES),
+            "RPSrandom (Fig. 3(c))": random_rps_order(WORDLINES, rng),
+        }
+        validity = {
+            name: (
+                is_valid_order(order, WORDLINES, SequenceScheme.RPS),
+                is_valid_order(order, WORDLINES, SequenceScheme.FPS),
+            )
+            for name, order in orders.items()
+        }
+        return orders, validity
+
+    orders, validity = benchmark(generate_and_validate)
+
+    rows = [[name, "yes" if rps else "no", "yes" if fps else "no"]
+            for name, (rps, fps) in validity.items()]
+    report = render_table(["order", "RPS-legal", "FPS-legal"], rows)
+    report += ("\n\nFPS head: "
+               + describe_order(orders["FPS (Fig. 2(b))"][:8]) + " ...")
+    report += ("\nRPSfull head: "
+               + describe_order(orders["RPSfull (Fig. 3(a))"][:8]) + " ...")
+    save_report("fig3_program_orders", report)
+
+    assert all(rps for rps, _ in validity.values())
+    assert validity["FPS (Fig. 2(b))"][1]
+    assert not validity["RPSfull (Fig. 3(a))"][1]  # needs RPS

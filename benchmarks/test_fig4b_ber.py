@@ -1,0 +1,25 @@
+"""Figure 4(b): bit error rates at the worst-case condition
+(3K P/E cycles + 1-year retention) under FPS vs RPS orders."""
+
+from repro.experiments.fig4 import run_fig4
+from repro.reliability.ber import WORST_CASE
+
+
+def test_fig4b_bit_error_rates(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig4(blocks=90, wordlines=64,
+                         condition=WORST_CASE, seed=3),
+        rounds=1, iterations=1,
+    )
+    save_report("fig4b_bit_error_rates", result.ber_table())
+
+    fps = result.results["FPS"]
+    # Paper: BER for the RPS schemes was not higher than for FPS under
+    # the worst-case operating conditions.
+    for scheme in ("RPSfull", "RPShalf"):
+        assert result.results[scheme].ber.median <= \
+            fps.ber.median * 1.02 + 1e-5
+    assert result.rps_matches_fps()
+    # BERs land in the paper's plotted range (1e-4 .. 1e-1).
+    assert 1e-5 < fps.ber.median < 1e-2
+    assert result.results["unconstrained"].ber.median > fps.ber.median

@@ -1,0 +1,37 @@
+"""Figure 8(b): normalised block erasure counts of the four FTLs."""
+
+from repro.experiments.fig8 import FTLS, run_fig8
+from repro.metrics.report import render_grouped_bars
+
+from conftest import BENCH_CONFIG
+
+
+def test_fig8b_normalized_erasures(benchmark, fig8_results, save_report):
+    normalized = fig8_results.normalized_erasures()
+    save_report("fig8b_normalized_erasures",
+                render_grouped_bars(normalized, FTLS))
+
+    raw = fig8_results.erasures()
+    flex_vs_parity = []
+    flex_vs_rtf = []
+    for workload, values in raw.items():
+        # Lifetime ordering: flexFTL erases less than both FPS FTLs
+        # that pay backup overhead; pageFTL (no backup at all) is the
+        # floor.
+        assert values["flexFTL"] < values["parityFTL"], workload
+        assert values["flexFTL"] < values["rtfFTL"], workload
+        assert values["pageFTL"] <= values["flexFTL"], workload
+        if values["flexFTL"] > 0:
+            flex_vs_parity.append(
+                1 - values["flexFTL"] / values["parityFTL"])
+            flex_vs_rtf.append(1 - values["flexFTL"] / values["rtfFTL"])
+    # Paper: erasures reduced by up to 30% vs parityFTL and up to 32%
+    # vs rtfFTL; at least one workload should show a >= 15% reduction.
+    assert max(flex_vs_parity) >= 0.10
+    assert max(flex_vs_rtf) >= 0.10
+
+    benchmark.pedantic(
+        lambda: run_fig8(workloads=("Fileserver",), ftls=("parityFTL",),
+                         config=BENCH_CONFIG, scale=0.1),
+        rounds=1, iterations=1,
+    )

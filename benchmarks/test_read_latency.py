@@ -1,0 +1,42 @@
+"""Complementary analysis: read-latency percentiles per FTL.
+
+Reads queue behind in-flight programs, so the LSB/MSB mix each FTL
+writes shapes the read tail.  Reported for NTRX (write-heavy with
+interleaved reads, so reads routinely collide with programs).
+"""
+
+from repro.experiments.latency import (
+    render_read_latency,
+    run_read_latency_comparison,
+)
+from repro.metrics.latency import latency_summary
+
+from conftest import BENCH_CONFIG
+
+
+def test_read_latency_percentiles(benchmark, save_report):
+    results = benchmark.pedantic(
+        lambda: run_read_latency_comparison(
+            workload="NTRX", total_ops=8000, config=BENCH_CONFIG),
+        rounds=1, iterations=1,
+    )
+    save_report("read_latency_percentiles",
+                render_read_latency(results))
+
+    summaries = {
+        ftl: latency_summary(result.stats.read_latencies)
+        for ftl, result in results.items()
+        if result.stats.read_latencies
+    }
+    assert set(summaries) == {"pageFTL", "parityFTL", "rtfFTL",
+                              "flexFTL"}
+    for ftl, summary in summaries.items():
+        # Reads cannot finish faster than the device read time and
+        # should not stall longer than a handful of program+erase
+        # windows even at the tail.
+        assert summary["p50"] >= 40e-6, ftl
+        assert summary["p99"] < 0.1, ftl
+    # The FPS backup FTLs interpose extra program traffic in front of
+    # reads; their median read should not beat pageFTL's.
+    assert summaries["parityFTL"]["p50"] >= \
+        0.9 * summaries["pageFTL"]["p50"]

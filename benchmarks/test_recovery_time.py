@@ -1,0 +1,29 @@
+"""Section 3.3: reboot overhead estimate + recovery procedure timing."""
+
+from repro.core.parity_backup import estimate_reboot_read_overhead
+from repro.experiments.recovery import (
+    reboot_overhead_report,
+    run_spo_recovery,
+)
+
+
+def test_recovery_reboot_overhead(benchmark, save_report):
+    scenario = benchmark.pedantic(
+        lambda: run_spo_recovery(wordlines=64, page_size=4096, seed=7),
+        rounds=1, iterations=1,
+    )
+    report = reboot_overhead_report()
+    report += (
+        f"\n\nend-to-end SPO scenario: lost wordline "
+        f"{scenario.lost_wordline}, recovered={scenario.success}, "
+        f"LSB reads during recovery={scenario.report.lsb_reads}"
+    )
+    save_report("recovery_reboot_overhead", report)
+
+    # The paper's worked example: 16 chips x 2 blocks x 64 LSB pages
+    # x 40 us = 81.92 ms.
+    assert estimate_reboot_read_overhead(16, 2, 64) == \
+        __import__("pytest").approx(81.92e-3)
+    assert scenario.success
+    # Recovery reads every *readable* LSB page of the slow block.
+    assert scenario.report.lsb_reads == 63

@@ -1,0 +1,21 @@
+"""Substrate sanity: IOPS scaling with device parallelism."""
+
+from repro.experiments.scaling import run_scaling_study
+
+
+def test_parallelism_scaling(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_scaling_study(channel_counts=(1, 2, 4),
+                                  ops_per_chip=800),
+        rounds=1, iterations=1,
+    )
+    save_report("scaling_study", result.render())
+
+    iops = result.iops_by_chips()
+    chips = sorted(iops)
+    # More chips, more throughput — monotonic ...
+    for small, large in zip(chips, chips[1:]):
+        assert iops[large] > iops[small]
+    # ... and reasonably efficient: quadrupling the device at least
+    # doubles throughput for this intensive workload.
+    assert iops[chips[-1]] >= 2.0 * iops[chips[0]]

@@ -1,0 +1,24 @@
+"""Table 1: I/O characteristics of the five benchmark workloads."""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1_workload_characteristics(benchmark, save_report):
+    characteristics = benchmark.pedantic(
+        lambda: run_table1(logical_pages=16384, total_ops=20000, seed=1),
+        rounds=1, iterations=1,
+    )
+    report = render_table1(characteristics)
+    save_report("table1_workload_characteristics", report)
+
+    # Table 1's published rows.
+    assert characteristics["OLTP"].read_write_ratio == "7:3"
+    assert characteristics["NTRX"].read_write_ratio == "3:7"
+    assert characteristics["Webserver"].read_write_ratio == "4:1"
+    assert characteristics["Varmail"].read_write_ratio == "1:1"
+    assert characteristics["Fileserver"].read_write_ratio == "1:2"
+    assert characteristics["OLTP"].intensiveness == "very high"
+    assert characteristics["NTRX"].intensiveness == "very high"
+    assert characteristics["Webserver"].intensiveness == "moderate"
+    assert characteristics["Varmail"].intensiveness == "high"
+    assert characteristics["Fileserver"].intensiveness == "high"

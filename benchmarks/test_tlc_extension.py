@@ -1,0 +1,62 @@
+"""Extension: the RPS property generalised to TLC devices.
+
+Section 1 of the paper: "our proposed technique can be applicable for
+other NAND devices such as triple-level cell (TLC) NAND devices with a
+similar program scheme".  This benchmark verifies the device-level
+half of that claim at a realistic block size: under the TLC
+constraint set with its over-specifications removed, every program
+order still leaves at most one aggressor per word line.
+"""
+
+import random
+
+from repro.metrics.report import render_table
+from repro.nand.tlc import (
+    TlcScheme,
+    fps_tlc_order,
+    is_valid_tlc_order,
+    random_rps_tlc_order,
+    rps_tlc_full_order,
+    tlc_aggressor_counts,
+    unconstrained_tlc_order,
+)
+
+WORDLINES = 128
+
+
+def test_tlc_rps_generalisation(benchmark, save_report):
+    def analyse():
+        rng = random.Random(3)
+        orders = {
+            "FPS-TLC (staggered)": fps_tlc_order(WORDLINES),
+            "RPS-TLC full (3-phase)": rps_tlc_full_order(WORDLINES),
+            "RPS-TLC random": random_rps_tlc_order(WORDLINES, rng),
+            "unconstrained": unconstrained_tlc_order(WORDLINES, rng),
+        }
+        summary = {}
+        for name, order in orders.items():
+            counts = tlc_aggressor_counts(order, WORDLINES)
+            summary[name] = (
+                max(counts),
+                sum(counts) / len(counts),
+                is_valid_tlc_order(order, WORDLINES, TlcScheme.RPS),
+            )
+        return summary
+
+    summary = benchmark(analyse)
+
+    rows = [[name, peak, f"{mean:.2f}", "yes" if legal else "no"]
+            for name, (peak, mean, legal) in summary.items()]
+    save_report(
+        "tlc_extension",
+        render_table(
+            ["order", "max aggressors", "mean aggressors", "RPS-legal"],
+            rows),
+    )
+
+    # Every RPS-TLC-legal order matches the FPS guarantee.
+    for name, (peak, _, legal) in summary.items():
+        if legal:
+            assert peak <= 1, name
+    assert summary["unconstrained"][0] > 1
+    assert not summary["unconstrained"][2]

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Demonstrate flexFTL's per-block parity backup surviving power loss.
+
+Walks the full Section 3.3 story on a data-bearing NAND model:
+
+1. fill a block's LSB pages (2PO fast phase) while accumulating the
+   XOR parity page, and persist the parity to a backup block;
+2. start the MSB (slow) phase, then cut power mid-MSB-program —
+   destroying the paired LSB page's data;
+3. reboot: re-read the slow block's LSB pages, detect the
+   ECC-uncorrectable page, and reconstruct it from the saved parity.
+
+Usage::
+
+    python examples/power_loss_recovery.py
+"""
+
+from repro.core.parity_backup import estimate_reboot_read_overhead
+from repro.experiments.recovery import run_spo_recovery
+
+
+def main() -> None:
+    wordlines = 64  # 128-page block, half LSB
+    scenario = run_spo_recovery(wordlines=wordlines, page_size=4096,
+                                msb_written_before_loss=21, seed=2026)
+
+    print(f"block layout: {wordlines} word lines "
+          f"({2 * wordlines} pages)")
+    print(f"fast phase: wrote {wordlines} LSB pages + 1 parity page")
+    print(f"slow phase: wrote {scenario.msb_written_before_loss} MSB "
+          f"pages, then POWER LOSS during MSB("
+          f"{scenario.lost_wordline})")
+    print()
+    report = scenario.report
+    print(f"reboot recovery: read {report.lsb_reads} LSB pages, "
+          f"found {len(report.lost_wordlines)} lost")
+    print(f"lost word line:      {report.recovered_wordline}")
+    print(f"reconstructed bytes match original: "
+          f"{scenario.recovered_matches}")
+    print(f"recovery successful: {scenario.success}")
+    print()
+    overhead = estimate_reboot_read_overhead(
+        chips=16, active_blocks_per_chip=2,
+        lsb_pages_per_block=wordlines)
+    print(f"paper's reboot-overhead estimate for 16 chips: "
+          f"{overhead * 1e3:.2f} ms (Section 3.3: 81.92 ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""TLC study: the RPS idea one bit deeper.
+
+Walks the paper's Section 1 claim ("applicable for other NAND devices
+such as TLC") through three levels:
+
+1. orders — the TLC constraint sets and the <=1-aggressor property;
+2. burst service — one enforcing chip, staggered vs three-phase;
+3. full system — TlcFlexFtl vs TlcPageFtl through the discrete-event
+   controller on a bursty workload.
+
+Usage::
+
+    python examples/tlc_study.py
+"""
+
+import random
+
+from repro.experiments.tlc_burst import (
+    render_tlc_burst,
+    run_tlc_burst_experiment,
+)
+from repro.experiments.tlc_system import (
+    render_tlc_comparison,
+    run_tlc_system_comparison,
+)
+from repro.metrics.report import render_table
+from repro.nand.tlc import (
+    TlcScheme,
+    fps_tlc_order,
+    is_valid_tlc_order,
+    random_rps_tlc_order,
+    rps_tlc_full_order,
+    tlc_max_aggressors,
+    unconstrained_tlc_order,
+)
+
+WORDLINES = 64
+
+
+def order_level() -> None:
+    rng = random.Random(11)
+    orders = {
+        "FPS-TLC (staggered)": fps_tlc_order(WORDLINES),
+        "RPS-TLC (three-phase)": rps_tlc_full_order(WORDLINES),
+        "RPS-TLC (random)": random_rps_tlc_order(WORDLINES, rng),
+        "unconstrained": unconstrained_tlc_order(WORDLINES, rng),
+    }
+    rows = [[name, tlc_max_aggressors(order, WORDLINES),
+             "yes" if is_valid_tlc_order(order, WORDLINES,
+                                         TlcScheme.RPS) else "no"]
+            for name, order in orders.items()]
+    print("1) program orders "
+          f"({WORDLINES} word lines, {3 * WORDLINES} pages):")
+    print(render_table(["order", "max aggressors", "RPS-TLC legal"],
+                       rows))
+    print()
+
+
+def burst_level() -> None:
+    print("2) burst service on one enforcing chip:")
+    print(render_tlc_burst(run_tlc_burst_experiment(WORDLINES, 48)))
+    print()
+
+
+def system_level() -> None:
+    print("3) full storage system (DES controller, Varmail bursts):")
+    results = run_tlc_system_comparison(total_ops=6000, seed=2)
+    print(render_tlc_comparison(results))
+
+
+def main() -> None:
+    order_level()
+    burst_level()
+    system_level()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Improving Performance and Lifetime of NAND
+Storage Systems Using Relaxed Program Sequence" (Park et al., DAC 2016).
+
+The package implements the paper's full stack:
+
+* :mod:`repro.nand` — a 2-bit MLC NAND device model with LSB/MSB page
+  asymmetry, program-sequence enforcement (FPS and the paper's RPS),
+  destructive MSB programs and power-loss injection;
+* :mod:`repro.core` — the contribution: RPS program orders and
+  validators, and flexFTL with two-phase block management, adaptive
+  page allocation and per-block parity backup;
+* :mod:`repro.ftl` — the FPS-based baseline FTLs (pageFTL, parityFTL,
+  rtfFTL) and their shared mapping/GC machinery;
+* :mod:`repro.reliability` — the Monte-Carlo interference/Vth/BER
+  substrate behind the Figure 4 validation;
+* :mod:`repro.sim` — a discrete-event storage-system simulator
+  (controller, channels, chips, write buffer, hosts);
+* :mod:`repro.workloads` — emulators of the five Table 1 workloads;
+* :mod:`repro.metrics` / :mod:`repro.experiments` — the evaluation
+  harness regenerating every table and figure.
+
+Quick start::
+
+    from repro.experiments import run_workload, ExperimentConfig
+    from repro.experiments import experiment_span
+    from repro.workloads import build_workload
+
+    config = ExperimentConfig()
+    span = experiment_span(config)
+    streams = build_workload("Varmail", span, total_ops=4000)
+    result = run_workload("flexFTL", streams, config)
+    print(result.iops, result.erases)
+"""
+
+from repro.core import FlexFtl
+from repro.core.rps import (
+    fps_order,
+    is_valid_order,
+    random_rps_order,
+    rps_full_order,
+    rps_half_order,
+    validate_order,
+)
+from repro.ftl import PageFtl, ParityFtl, RtfFtl
+from repro.nand import (
+    NandArray,
+    NandGeometry,
+    NandTiming,
+    PageType,
+    SequenceScheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FlexFtl",
+    "PageFtl",
+    "ParityFtl",
+    "RtfFtl",
+    "NandArray",
+    "NandGeometry",
+    "NandTiming",
+    "PageType",
+    "SequenceScheme",
+    "fps_order",
+    "rps_full_order",
+    "rps_half_order",
+    "random_rps_order",
+    "validate_order",
+    "is_valid_order",
+]

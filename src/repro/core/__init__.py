@@ -1,0 +1,64 @@
+"""The paper's primary contribution: RPS and the RPS-aware flexFTL.
+
+Device-level half: :mod:`repro.core.rps` defines relaxed program
+sequence orders and validators.  FTL-level half: flexFTL and its three
+RPS-enabled mechanisms — two-phase block management
+(:mod:`repro.core.block_manager`), adaptive page allocation
+(:mod:`repro.core.page_allocator`) and per-block parity backup
+(:mod:`repro.core.parity_backup`).
+"""
+
+from repro.core.block_manager import TakenPage, TwoPhaseBlockManager
+from repro.core.flexftl import FlexFtl
+from repro.core.page_allocator import PolicyConfig, PolicyManager, QuotaTracker
+from repro.core.predictor import EwmaBurstPredictor
+from repro.core.tlc_ftl import (
+    ThreePhaseBlockManager,
+    TlcFlexFtl,
+    TlcPageFtl,
+)
+from repro.core.parity_backup import (
+    ParityAccumulator,
+    RecoveryReport,
+    estimate_reboot_read_overhead,
+    recover_active_slow_block,
+    xor_pages,
+)
+from repro.core.rps import (
+    ProgramOrder,
+    describe_order,
+    fps_order,
+    is_valid_order,
+    random_rps_order,
+    rps_full_order,
+    rps_half_order,
+    unconstrained_random_order,
+    validate_order,
+)
+
+__all__ = [
+    "FlexFtl",
+    "TwoPhaseBlockManager",
+    "TakenPage",
+    "PolicyConfig",
+    "PolicyManager",
+    "QuotaTracker",
+    "EwmaBurstPredictor",
+    "TlcFlexFtl",
+    "TlcPageFtl",
+    "ThreePhaseBlockManager",
+    "ParityAccumulator",
+    "RecoveryReport",
+    "recover_active_slow_block",
+    "estimate_reboot_read_overhead",
+    "xor_pages",
+    "ProgramOrder",
+    "fps_order",
+    "rps_full_order",
+    "rps_half_order",
+    "random_rps_order",
+    "unconstrained_random_order",
+    "validate_order",
+    "is_valid_order",
+    "describe_order",
+]

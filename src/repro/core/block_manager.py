@@ -1,0 +1,138 @@
+"""Two-phase block management (2PO): flexFTL's block life cycle.
+
+Under the two-phase ordering a block cycles through the four states of
+Figure 6: *free* → *active fast* (LSB pages being written) → queued in
+the **slow block queue** (all LSB pages written, MSB pages free) →
+*active slow* (MSB pages being written, at the SBQueue head) → *full*.
+One :class:`TwoPhaseBlockManager` tracks that machinery for one chip;
+the free and full pools stay with the owning FTL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, NamedTuple, Optional
+
+from repro.ftl.cursor import PhaseCursor
+from repro.nand.page_types import PageType
+
+
+class TakenPage(NamedTuple):
+    """A page handed out by the manager.
+
+    ``phase_done`` flags the life-cycle transition the take caused:
+    for an LSB take, the fast block just exhausted its LSB pages and
+    moved to the SBQueue (time to persist its parity page); for an MSB
+    take, the slow block became full (its parity page is now dead).
+    """
+
+    block: int
+    wordline: int
+    ptype: PageType
+    phase_done: bool
+
+
+class TwoPhaseBlockManager:
+    """Fast/slow block state for one chip under the 2PO scheme."""
+
+    def __init__(self, wordlines: int) -> None:
+        if wordlines <= 0:
+            raise ValueError(f"wordlines must be positive, got {wordlines}")
+        self.wordlines = wordlines
+        self._fast: Optional[PhaseCursor] = None
+        self._sbqueue: Deque[PhaseCursor] = deque()
+
+    # ------------------------------------------------------------------
+    # fast (LSB) phase
+
+    @property
+    def needs_fast_block(self) -> bool:
+        """True when a new free block must be installed for LSB writes."""
+        return self._fast is None
+
+    @property
+    def active_fast_block(self) -> Optional[int]:
+        """Block id of the active fast block, if any."""
+        return None if self._fast is None else self._fast.block
+
+    def install_fast_block(self, block: int) -> None:
+        """Make a free block the chip's active fast block."""
+        if self._fast is not None:
+            raise RuntimeError(
+                f"fast block {self._fast.block} still active"
+            )
+        self._fast = PhaseCursor(block, self.wordlines, PageType.LSB)
+
+    def take_lsb(self) -> Optional[TakenPage]:
+        """Allocate the next LSB page of the active fast block.
+
+        Returns None when no fast block is installed.  When the take
+        consumes the block's last LSB page the block is appended to the
+        slow block queue (FIFO, per Section 3.1) and ``phase_done`` is
+        True — the caller must persist the block's accumulated parity.
+        """
+        if self._fast is None:
+            return None
+        wordline, ptype = self._fast.take()
+        block = self._fast.block
+        done = self._fast.done
+        if done:
+            self._sbqueue.append(
+                PhaseCursor(block, self.wordlines, PageType.MSB)
+            )
+            self._fast = None
+        return TakenPage(block, wordline, ptype, done)
+
+    # ------------------------------------------------------------------
+    # slow (MSB) phase
+
+    @property
+    def active_slow_block(self) -> Optional[int]:
+        """Block id of the active slow block (SBQueue head), if any."""
+        return self._sbqueue[0].block if self._sbqueue else None
+
+    @property
+    def has_slow_block(self) -> bool:
+        """Whether any MSB page is allocatable."""
+        return bool(self._sbqueue)
+
+    def take_msb(self) -> Optional[TakenPage]:
+        """Allocate the next MSB page of the active slow block.
+
+        Returns None when the SBQueue is empty.  ``phase_done`` is True
+        when the take fills the block completely — the caller moves it
+        to the full pool and invalidates its parity page.
+        """
+        if not self._sbqueue:
+            return None
+        cursor = self._sbqueue[0]
+        wordline, ptype = cursor.take()
+        done = cursor.done
+        if done:
+            self._sbqueue.popleft()
+        return TakenPage(cursor.block, wordline, ptype, done)
+
+    # ------------------------------------------------------------------
+    # capacity views (the block pool manager's signals to the policy)
+
+    @property
+    def free_lsb_pages(self) -> int:
+        """LSB pages allocatable without taking a new free block."""
+        return 0 if self._fast is None else self._fast.remaining
+
+    @property
+    def free_msb_pages(self) -> int:
+        """MSB pages allocatable across the slow block queue."""
+        return sum(cursor.remaining for cursor in self._sbqueue)
+
+    @property
+    def sbqueue_length(self) -> int:
+        """Blocks waiting in (or serving as head of) the SBQueue."""
+        return len(self._sbqueue)
+
+    def __repr__(self) -> str:
+        fast = "-" if self._fast is None else str(self._fast.block)
+        return (
+            f"TwoPhaseBlockManager(fast={fast}, "
+            f"sbqueue={[c.block for c in self._sbqueue]})"
+        )

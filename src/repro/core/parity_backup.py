@@ -1,0 +1,156 @@
+"""Per-block parity backup and power-off recovery (Section 3.3).
+
+While a fast block's LSB pages are written, flexFTL accumulates their
+XOR in a RAM parity buffer; when the last LSB page is written, the
+accumulated parity page is persisted to a reserved backup block (to an
+LSB page, with the protected block's number in the spare area).  If a
+sudden power-off interrupts an MSB program, destroying its paired LSB
+page, the lost page is reconstructed at reboot: re-read every readable
+LSB page of the active slow block, re-accumulate their parity, and XOR
+with the saved parity page.
+
+This module provides the RAM parity accumulator, the recovery
+procedure against a data-bearing :class:`~repro.nand.array.NandArray`,
+and the reboot-overhead estimate of Section 3.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.nand.array import NandArray
+from repro.nand.errors import EccUncorrectableError
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType, page_index
+
+
+class ParityAccumulator:
+    """RAM-resident accumulated XOR parity of a block's LSB pages."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._acc = bytearray(page_size)
+        self.count = 0
+
+    def add(self, data: bytes) -> None:
+        """Fold one page into the accumulated parity.
+
+        Short payloads are zero-padded to the page size (a real
+        controller pads the program unit too).
+        """
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        for i, byte in enumerate(data):
+            self._acc[i] ^= byte
+        self.count += 1
+
+    def value(self) -> bytes:
+        """The current accumulated parity page."""
+        return bytes(self._acc)
+
+    def reset(self) -> None:
+        """Clear the accumulator for the next block."""
+        self._acc = bytearray(self.page_size)
+        self.count = 0
+
+
+def xor_pages(a: bytes, b: bytes, page_size: int) -> bytes:
+    """XOR two (possibly short) page payloads at ``page_size`` width."""
+    acc = ParityAccumulator(page_size)
+    acc.add(a)
+    acc.add(b)
+    return acc.value()
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """Outcome of the reboot-time recovery of one active slow block."""
+
+    block: int
+    lsb_reads: int
+    lost_wordlines: List[int]
+    recovered_wordline: Optional[int]
+    recovered_data: Optional[bytes]
+    success: bool
+
+    @property
+    def data_was_lost(self) -> bool:
+        """Whether the power-off actually destroyed an LSB page."""
+        return bool(self.lost_wordlines)
+
+
+def recover_active_slow_block(
+    array: NandArray,
+    channel: int,
+    chip: int,
+    block: int,
+    saved_parity: bytes,
+) -> RecoveryReport:
+    """Run the Figure 7(b) recovery procedure on one slow block.
+
+    Reads every LSB page of the block, re-accumulating parity while
+    skipping any ECC-uncorrectable (lost) page; a single lost page is
+    reconstructed by XORing the re-accumulated parity with the saved
+    parity page.  Two or more lost pages exceed what one parity page
+    can recover (cannot happen under 2PO, where at most one MSB program
+    is in flight per chip).
+
+    Args:
+        array: a data-bearing NAND array (``store_data=True``).
+        channel, chip, block: location of the active slow block.
+        saved_parity: the parity page persisted in the backup block.
+
+    Returns:
+        A :class:`RecoveryReport`; ``success`` is True when either no
+        page was lost or exactly one page was reconstructed.
+    """
+    if not array.store_data:
+        raise ValueError("recovery requires a data-bearing array "
+                         "(store_data=True)")
+    page_size = array.geometry.page_size
+    wordlines = array.geometry.wordlines_per_block
+    accumulator = ParityAccumulator(page_size)
+    lost: List[int] = []
+    reads = 0
+    for wordline in range(wordlines):
+        addr = PhysicalPageAddress(
+            channel, chip, block, page_index(wordline, PageType.LSB)
+        )
+        try:
+            data, _ = array.read(addr)
+            reads += 1
+        except EccUncorrectableError:
+            lost.append(wordline)
+            continue
+        accumulator.add(data or b"")
+    if not lost:
+        return RecoveryReport(block, reads, [], None, None, success=True)
+    if len(lost) > 1:
+        return RecoveryReport(block, reads, lost, None, None, success=False)
+    recovered = xor_pages(accumulator.value(), saved_parity, page_size)
+    return RecoveryReport(block, reads, lost, lost[0], recovered,
+                          success=True)
+
+
+def estimate_reboot_read_overhead(
+    chips: int,
+    active_blocks_per_chip: int,
+    lsb_pages_per_block: int,
+    t_read: float = 40e-6,
+) -> float:
+    """The Section 3.3 reboot-overhead estimate, in seconds.
+
+    The paper's example — 16 chips x 2 active blocks x 64 LSB pages at
+    40 us per read — yields 81.92 ms.
+    """
+    if min(chips, active_blocks_per_chip, lsb_pages_per_block) <= 0:
+        raise ValueError("all counts must be positive")
+    if t_read <= 0:
+        raise ValueError("t_read must be positive")
+    return chips * active_blocks_per_chip * lsb_pages_per_block * t_read

@@ -1,0 +1,88 @@
+"""Future-write prediction for just-in-time background collection.
+
+The paper's closing direction (Section 6): "if flexFTL can more
+accurately estimate the amount of future writes — for example, by
+using a page cache-based future write predictor [9] — a background
+garbage collector can reclaim free blocks more efficiently so that
+more LSB-page writes can be used for future write requests."
+
+We have no host page cache to inspect, so the predictor works from the
+signal the FTL does see: the stream of host page writes.  Writes whose
+inter-arrival gap is below a threshold belong to the same *burst*; the
+predictor keeps an exponentially weighted moving average of completed
+burst sizes and predicts that the next burst will look like the recent
+ones.  flexFTL uses the prediction as a *demand target*: during idle
+times the background collector keeps reclaiming (and, by copying into
+MSB pages, keeps earning quota) until the LSB-write headroom covers
+the predicted burst.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EwmaBurstPredictor:
+    """EWMA-of-burst-sizes future write predictor.
+
+    Args:
+        gap_threshold: writes separated by more than this many seconds
+            start a new burst.
+        alpha: EWMA weight of the most recent completed burst.
+        initial_estimate: prediction before any burst completes.
+    """
+
+    def __init__(self, gap_threshold: float = 0.05, alpha: float = 0.3,
+                 initial_estimate: float = 0.0) -> None:
+        if gap_threshold <= 0:
+            raise ValueError("gap_threshold must be positive")
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if initial_estimate < 0:
+            raise ValueError("initial_estimate must be non-negative")
+        self.gap_threshold = gap_threshold
+        self.alpha = alpha
+        self._estimate = float(initial_estimate)
+        self._burst_pages = 0
+        self._last_write: Optional[float] = None
+        self.bursts_observed = 0
+
+    def observe_write(self, now: float, pages: int = 1) -> None:
+        """Feed one host page write (or ``pages`` of them) at ``now``."""
+        if pages <= 0:
+            raise ValueError("pages must be positive")
+        if self._last_write is not None \
+                and now - self._last_write > self.gap_threshold:
+            self._finish_burst()
+        self._burst_pages += pages
+        self._last_write = now
+
+    def _finish_burst(self) -> None:
+        if self._burst_pages <= 0:
+            return
+        self.bursts_observed += 1
+        self._estimate = (self.alpha * self._burst_pages
+                          + (1.0 - self.alpha) * self._estimate)
+        self._burst_pages = 0
+
+    def predicted_burst_pages(self, now: Optional[float] = None) -> float:
+        """Expected size (pages) of the next write burst.
+
+        When ``now`` shows the current burst has ended (gap exceeded),
+        it is folded into the estimate first.
+        """
+        if now is not None and self._last_write is not None \
+                and now - self._last_write > self.gap_threshold:
+            self._finish_burst()
+        return self._estimate
+
+    @property
+    def in_burst_pages(self) -> int:
+        """Pages of the burst currently being observed."""
+        return self._burst_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"EwmaBurstPredictor(estimate={self._estimate:.1f}, "
+            f"bursts={self.bursts_observed})"
+        )

@@ -1,0 +1,203 @@
+"""Relaxed program sequence (RPS): orders, generators, validators.
+
+This module is the device-level half of the paper's contribution.  It
+expresses in-block page program orders as sequences of canonical page
+indices (see :func:`repro.nand.page_types.page_index`) and provides:
+
+* generators for the orders the paper discusses — the conventional FPS
+  order of Figure 2(b), ``RPSfull`` (all LSB pages then all MSB pages,
+  a.k.a. the 2PO order flexFTL uses), ``RPShalf`` (Figure 3(b)), random
+  RPS-legal orders (Figure 3(c)), and fully unconstrained orders (the
+  worst case of Figure 2(a));
+* whole-order validators for the FPS constraint set (Constraints 1-4)
+  and the RPS constraint set (Constraints 1-3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nand.page_types import PageType, page_index, split_index
+from repro.nand.sequence import SequenceScheme, constraint_violations
+
+#: A program order: canonical in-block page indices, program-time order.
+ProgramOrder = List[int]
+
+
+def fps_order(wordlines: int) -> ProgramOrder:
+    """The representative FPS order of Figure 2(b).
+
+    ``LSB(0), LSB(1), MSB(0), LSB(2), MSB(1), ..., LSB(N-1), MSB(N-2),
+    MSB(N-1)`` — the unique-looking interleave that satisfies all four
+    constraints with at most one aggressor program per word line.
+    """
+    _check_wordlines(wordlines)
+    if wordlines == 1:
+        return [page_index(0, PageType.LSB), page_index(0, PageType.MSB)]
+    order = [
+        page_index(0, PageType.LSB),
+        page_index(1, PageType.LSB),
+        page_index(0, PageType.MSB),
+    ]
+    for k in range(2, wordlines):
+        order.append(page_index(k, PageType.LSB))
+        order.append(page_index(k - 1, PageType.MSB))
+    order.append(page_index(wordlines - 1, PageType.MSB))
+    return order
+
+
+def rps_full_order(wordlines: int) -> ProgramOrder:
+    """``RPSfull`` (Figure 3(a)): all LSB pages, then all MSB pages.
+
+    This is the two-phase ordering (2PO) flexFTL adopts: a block is
+    filled with fast LSB writes first and slow MSB writes later.
+    """
+    _check_wordlines(wordlines)
+    order = [page_index(k, PageType.LSB) for k in range(wordlines)]
+    order.extend(page_index(k, PageType.MSB) for k in range(wordlines))
+    return order
+
+
+def rps_half_order(wordlines: int) -> ProgramOrder:
+    """``RPShalf`` (Figure 3(b)): half the LSB pages up front.
+
+    The first half of the block's LSB pages are written consecutively
+    (an SLC-like burst), after which LSB and MSB writes alternate while
+    honouring Constraints 1-3; trailing MSB writes finish the block.
+    """
+    _check_wordlines(wordlines)
+    half = (wordlines + 1) // 2
+    order = [page_index(k, PageType.LSB) for k in range(half)]
+    next_lsb = half
+    next_msb = 0
+    prefer_msb = True
+    while next_lsb < wordlines or next_msb < wordlines:
+        msb_legal = next_msb < wordlines and _msb_legal(next_lsb, next_msb,
+                                                        wordlines)
+        lsb_legal = next_lsb < wordlines
+        if msb_legal and (prefer_msb or not lsb_legal):
+            order.append(page_index(next_msb, PageType.MSB))
+            next_msb += 1
+        elif lsb_legal:
+            order.append(page_index(next_lsb, PageType.LSB))
+            next_lsb += 1
+        else:
+            order.append(page_index(next_msb, PageType.MSB))
+            next_msb += 1
+        prefer_msb = not prefer_msb
+    return order
+
+
+def random_rps_order(wordlines: int,
+                     rng: Optional[random.Random] = None) -> ProgramOrder:
+    """A uniformly random step-wise-legal RPS order (Figure 3(c)).
+
+    At each step one of the currently legal next pages (per Constraints
+    1-3) is chosen at random, producing an arbitrary interleaving of
+    LSB and MSB writes that a RPS device would accept.
+    """
+    _check_wordlines(wordlines)
+    rng = rng or random.Random()
+    order: ProgramOrder = []
+    next_lsb = 0
+    next_msb = 0
+    while next_lsb < wordlines or next_msb < wordlines:
+        candidates: List[Tuple[int, PageType]] = []
+        if next_lsb < wordlines:
+            candidates.append((next_lsb, PageType.LSB))
+        if next_msb < wordlines and _msb_legal(next_lsb, next_msb,
+                                               wordlines):
+            candidates.append((next_msb, PageType.MSB))
+        wordline, ptype = rng.choice(candidates)
+        order.append(page_index(wordline, ptype))
+        if ptype is PageType.LSB:
+            next_lsb += 1
+        else:
+            next_msb += 1
+    return order
+
+
+def unconstrained_random_order(
+    wordlines: int, rng: Optional[random.Random] = None
+) -> ProgramOrder:
+    """A random order with **no** constraints (Figure 2(a) worst case).
+
+    Used by the reliability experiments to show why some ordering
+    discipline is required: without Constraints 1-3 a word line can
+    suffer up to four aggressor programs after it is fully written.
+    """
+    _check_wordlines(wordlines)
+    rng = rng or random.Random()
+    order = list(range(2 * wordlines))
+    rng.shuffle(order)
+    return order
+
+
+def validate_order(order: Sequence[int], wordlines: int,
+                   scheme: SequenceScheme) -> List[str]:
+    """Replay ``order`` against a scheme; return all violations found.
+
+    Also reports structural defects: wrong length, out-of-range pages,
+    or duplicate programming of a page.
+    """
+    _check_wordlines(wordlines)
+    violations: List[str] = []
+    expected = 2 * wordlines
+    if len(order) != expected:
+        violations.append(
+            f"order has {len(order)} entries, expected {expected}"
+        )
+    programmed = set()
+    for position, index in enumerate(order):
+        if not (0 <= index < expected):
+            violations.append(f"position {position}: page {index} out of range")
+            continue
+        if index in programmed:
+            violations.append(
+                f"position {position}: page {index} programmed twice"
+            )
+            continue
+        wordline, ptype = split_index(index)
+        violations.extend(
+            f"position {position}: {message}"
+            for message in constraint_violations(
+                lambda w, t: page_index(w, t) in programmed,
+                wordlines, wordline, ptype, scheme,
+            )
+        )
+        programmed.add(index)
+    return violations
+
+
+def is_valid_order(order: Sequence[int], wordlines: int,
+                   scheme: SequenceScheme) -> bool:
+    """True when ``order`` is a complete, legal order under ``scheme``."""
+    return not validate_order(order, wordlines, scheme)
+
+
+def describe_order(order: Sequence[int]) -> str:
+    """Human-readable rendering, e.g. ``'LSB(0) LSB(1) MSB(0) ...'``."""
+    parts = []
+    for index in order:
+        wordline, ptype = split_index(index)
+        parts.append(f"{ptype.name}({wordline})")
+    return " ".join(parts)
+
+
+def _msb_legal(next_lsb: int, next_msb: int, wordlines: int) -> bool:
+    """Whether MSB(next_msb) may be programmed next under RPS.
+
+    Constraint 3 requires LSB(next_msb + 1) to exist (when that word
+    line does); the physical pairing rule requires LSB(next_msb)
+    itself.  With LSB pages written in word-line order (Constraint 1),
+    both reduce to bounds on ``next_lsb``.
+    """
+    if next_msb + 1 < wordlines:
+        return next_lsb >= next_msb + 2
+    return next_lsb >= next_msb + 1
+
+
+def _check_wordlines(wordlines: int) -> None:
+    if wordlines <= 0:
+        raise ValueError(f"wordlines must be positive, got {wordlines}")

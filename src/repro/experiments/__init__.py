@@ -1,0 +1,76 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+* :mod:`repro.experiments.runner` — system assembly, preconditioning,
+  measured runs.
+* :mod:`repro.experiments.table1` — workload characteristics (Table 1).
+* :mod:`repro.experiments.fig4` — reliability comparison (Figure 4).
+* :mod:`repro.experiments.fig8` — IOPS, erasures, bandwidth CDF
+  (Figures 8(a)-(c)).
+* :mod:`repro.experiments.recovery` — Section 3.3 reboot-overhead
+  estimate and end-to-end power-loss recovery.
+* :mod:`repro.experiments.ablation` — quota, thresholds, parity
+  granularity sweeps.
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENT_GEOMETRY,
+    FTL_REGISTRY,
+    ExperimentConfig,
+    RunResult,
+    build_system,
+    experiment_span,
+    run_workload,
+)
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.recovery import (
+    SpoScenario,
+    reboot_overhead_report,
+    run_spo_recovery,
+)
+from repro.experiments.ablation import (
+    AblationPoint,
+    render_ablation,
+    run_gc_policy_ablation,
+    run_parity_ablation,
+    run_quota_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.latency import (
+    render_read_latency,
+    run_read_latency_comparison,
+)
+from repro.experiments.endurance import EnduranceResult, run_endurance_sweep
+from repro.experiments.scaling import ScalingResult, run_scaling_study
+
+__all__ = [
+    "EXPERIMENT_GEOMETRY",
+    "FTL_REGISTRY",
+    "ExperimentConfig",
+    "RunResult",
+    "build_system",
+    "experiment_span",
+    "run_workload",
+    "Fig4Result",
+    "run_fig4",
+    "Fig8Result",
+    "run_fig8",
+    "run_table1",
+    "render_table1",
+    "SpoScenario",
+    "run_spo_recovery",
+    "reboot_overhead_report",
+    "AblationPoint",
+    "run_quota_ablation",
+    "run_threshold_ablation",
+    "run_parity_ablation",
+    "run_gc_policy_ablation",
+    "render_ablation",
+    "run_read_latency_comparison",
+    "render_read_latency",
+    "EnduranceResult",
+    "run_endurance_sweep",
+    "ScalingResult",
+    "run_scaling_study",
+]

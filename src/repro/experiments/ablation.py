@@ -1,0 +1,183 @@
+"""Ablations of flexFTL's design parameters.
+
+The paper fixes three knobs without exploring them; DESIGN.md calls
+them out and these sweeps quantify each:
+
+* **A1** — the initial quota ``q`` (paper: 5 % of the LSB pages);
+* **A2** — the utilisation thresholds ``u_high``/``u_low``
+  (paper: 80 % / 10 %);
+* **A3** — the parity-sharing granularity: one parity page per two
+  LSB pages (the FPS ceiling of [6]) versus one per block (flexFTL's
+  per-block scheme, only possible under RPS).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.page_allocator import PolicyConfig
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunResult,
+    experiment_span,
+    run_workload,
+)
+from repro.metrics.report import render_table
+from repro.workloads.benchmarks import build_workload
+
+
+@dataclasses.dataclass
+class AblationPoint:
+    """One configuration of a sweep and its measured outcome."""
+
+    label: str
+    result: RunResult
+
+    @property
+    def iops(self) -> float:
+        """Measured-phase IOPS of this configuration."""
+        return self.result.iops
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Highest active-window write bandwidth [MB/s]."""
+        samples = self.result.stats.write_bandwidth.samples_mbps()
+        return max(samples) if samples else 0.0
+
+
+def _varmail_streams(config: ExperimentConfig, total_ops: int,
+                     utilization: float, seed: int, workload: str):
+    span = experiment_span(config, utilization=utilization)
+    return build_workload(workload, span, total_ops=total_ops, seed=seed)
+
+
+def run_quota_ablation(
+    fractions: Sequence[float] = (0.0125, 0.025, 0.05, 0.1, 0.2),
+    workload: str = "Varmail",
+    total_ops: int = 12000,
+    utilization: float = 0.75,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+) -> List[AblationPoint]:
+    """A1: sweep the initial quota fraction (paper value 0.05)."""
+    config = config or ExperimentConfig()
+    streams = _varmail_streams(config, total_ops, utilization, seed,
+                               workload)
+    points: List[AblationPoint] = []
+    for fraction in fractions:
+        swept = dataclasses.replace(
+            config,
+            policy_config=dataclasses.replace(config.policy_config,
+                                              quota_fraction=fraction),
+        )
+        result = run_workload("flexFTL", streams, swept)
+        points.append(AblationPoint(f"q0={fraction:.4g}", result))
+    return points
+
+
+def run_threshold_ablation(
+    pairs: Sequence[Tuple[float, float]] = (
+        (0.5, 0.05), (0.8, 0.1), (0.9, 0.3), (0.99, 0.0),
+    ),
+    workload: str = "Varmail",
+    total_ops: int = 12000,
+    utilization: float = 0.75,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+) -> List[AblationPoint]:
+    """A2: sweep (u_high, u_low) (paper values 0.8 / 0.1)."""
+    config = config or ExperimentConfig()
+    streams = _varmail_streams(config, total_ops, utilization, seed,
+                               workload)
+    points: List[AblationPoint] = []
+    for u_high, u_low in pairs:
+        swept = dataclasses.replace(
+            config,
+            policy_config=dataclasses.replace(config.policy_config,
+                                              u_high=u_high, u_low=u_low),
+        )
+        result = run_workload("flexFTL", streams, swept)
+        points.append(AblationPoint(f"u_high={u_high} u_low={u_low}",
+                                    result))
+    return points
+
+
+def run_parity_ablation(
+    intervals: Sequence[int] = (2, 8, 0),
+    workload: str = "Fileserver",
+    total_ops: int = 12000,
+    utilization: float = 0.75,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, AblationPoint]:
+    """A3: parity-sharing granularity.
+
+    Runs parityFTL (the FPS ceiling: 2 LSB pages per parity page) and
+    flexFTL at several parity intervals, including the paper's
+    per-block scheme (interval 0).  The interesting outputs are the
+    backup-program count and the erasure count.
+    """
+    config = config or ExperimentConfig()
+    streams = _varmail_streams(config, total_ops, utilization, seed,
+                               workload)
+    points: Dict[str, AblationPoint] = {
+        "parityFTL (per 2 LSBs, FPS)": AblationPoint(
+            "parityFTL", run_workload("parityFTL", streams, config)
+        ),
+    }
+    for interval in intervals:
+        swept = dataclasses.replace(config, flex_parity_interval=interval)
+        label = ("flexFTL (per block)" if interval == 0
+                 else f"flexFTL (per {interval} LSBs)")
+        points[label] = AblationPoint(
+            label, run_workload("flexFTL", streams, swept)
+        )
+    return points
+
+
+def run_gc_policy_ablation(
+    policies: Sequence[str] = ("greedy", "cost_benefit"),
+    workload: str = "NTRX",
+    total_ops: int = 12000,
+    utilization: float = 0.85,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+) -> List[AblationPoint]:
+    """Substrate ablation: GC victim-selection policy.
+
+    The paper's FTLs all use greedy selection; an age-weighted
+    cost-benefit policy separates hot and cold blocks, which shows up
+    as lower write amplification on skewed workloads under pressure.
+    Run at high utilisation so garbage collection actually dominates.
+    """
+    config = config or ExperimentConfig()
+    streams = _varmail_streams(config, total_ops, utilization, seed,
+                               workload)
+    points: List[AblationPoint] = []
+    for policy in policies:
+        swept = dataclasses.replace(
+            config,
+            ftl_config=dataclasses.replace(config.ftl_config,
+                                           gc_policy=policy),
+        )
+        result = run_workload("flexFTL", streams, swept)
+        points.append(AblationPoint(f"gc={policy}", result))
+    return points
+
+
+def render_ablation(points: Sequence[AblationPoint]) -> str:
+    """Render a sweep as a table of the headline metrics."""
+    headers = ["configuration", "IOPS", "peak BW [MB/s]", "erases",
+               "WAF", "backup programs"]
+    rows = []
+    for point in points:
+        rows.append([
+            point.label,
+            f"{point.iops:.0f}",
+            f"{point.peak_bandwidth:.1f}",
+            point.result.erases,
+            f"{point.result.write_amplification:.2f}",
+            point.result.counters["backup_programs"],
+        ])
+    return render_table(headers, rows)

@@ -1,0 +1,95 @@
+"""Endurance extension: P/E-cycle sweep of BER and usable lifetime.
+
+Extends Figure 4(b) along the stress axis: sweep P/E cycles (at the
+paper's 1-year retention), measure the median raw BER per program
+order, push it through the ECC capability model, and report the
+highest cycle count at which each scheme still meets an
+uncorrectable-page-error target.  The expected outcome mirrors the
+paper's claim: RPS orders track FPS exactly — same BER curve, same
+endurance — while an unconstrained order forfeits cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.report import render_table
+from repro.reliability.ber import OperatingCondition, StressModel
+from repro.reliability.ecc import EccConfig, page_failure_probability
+from repro.reliability.montecarlo import run_reliability_experiment
+from repro.reliability.vth import MlcVthModel
+
+DEFAULT_SCHEMES: Sequence[str] = ("FPS", "RPSfull", "unconstrained")
+DEFAULT_CYCLES: Sequence[int] = (0, 1000, 2000, 3000, 4000, 5000)
+
+
+@dataclasses.dataclass
+class EnduranceResult:
+    """BER-vs-cycles curves and derived endurance per scheme."""
+
+    cycles: List[int]
+    median_ber: Dict[str, List[float]]  # scheme -> per-cycle median
+    page_failure: Dict[str, List[float]]
+    endurance: Dict[str, Optional[int]]  # last cycle meeting target
+    target: float
+
+    def render(self) -> str:
+        """Render the BER-vs-cycles table with endurance column."""
+        headers = ["P/E cycles"] + [str(c) for c in self.cycles] \
+            + ["endurance"]
+        rows = []
+        for scheme, bers in self.median_ber.items():
+            limit = self.endurance[scheme]
+            rows.append(
+                [scheme] + [f"{ber:.1e}" for ber in bers]
+                + ["-" if limit is None else str(limit)]
+            )
+        return "\n".join([
+            "median raw BER vs P/E cycles (1-year retention), and the "
+            f"highest cycle count with page-failure < {self.target:g}:",
+            render_table(headers, rows),
+        ])
+
+
+def run_endurance_sweep(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    cycles: Sequence[int] = DEFAULT_CYCLES,
+    retention_hours: float = 24 * 365,
+    blocks: int = 12,
+    wordlines: int = 24,
+    target_page_failure: float = 1e-9,
+    ecc: EccConfig = EccConfig(),
+    model: Optional[MlcVthModel] = None,
+    stress: Optional[StressModel] = None,
+    seed: int = 0,
+) -> EnduranceResult:
+    """Sweep P/E cycles and derive each scheme's usable endurance."""
+    cycles = list(cycles)
+    median_ber: Dict[str, List[float]] = {s: [] for s in schemes}
+    page_failure: Dict[str, List[float]] = {s: [] for s in schemes}
+    endurance: Dict[str, Optional[int]] = {}
+    for scheme in schemes:
+        for pe in cycles:
+            condition = OperatingCondition(pe_cycles=pe,
+                                           retention_hours=retention_hours)
+            result = run_reliability_experiment(
+                scheme, blocks=blocks, wordlines=wordlines,
+                condition=condition, model=model, stress=stress,
+                seed=seed,
+            )
+            ber = result.ber.median
+            median_ber[scheme].append(ber)
+            page_failure[scheme].append(
+                page_failure_probability(ber, config=ecc)
+            )
+        passing = [pe for pe, pf in zip(cycles, page_failure[scheme])
+                   if pf < target_page_failure]
+        endurance[scheme] = max(passing) if passing else None
+    return EnduranceResult(
+        cycles=cycles,
+        median_ber=median_ber,
+        page_failure=page_failure,
+        endurance=endurance,
+        target=target_page_failure,
+    )

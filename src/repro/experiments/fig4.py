@@ -1,0 +1,131 @@
+"""Figure 4: reliability comparison of FPS vs RPS program orders.
+
+Panel (a) compares the distributions of the per-page total Vth width
+(the sum of the four states' ``WPi``); panel (b) compares bit error
+rates at the worst-case operating condition (3K P/E cycles + 1-year
+retention).  The paper's finding — and this experiment's expected
+shape — is that ``RPSfull`` and ``RPShalf`` are indistinguishable from
+FPS, while an order violating the RPS constraints is clearly worse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.metrics.report import render_table
+from repro.reliability.ber import OperatingCondition, StressModel, WORST_CASE
+from repro.reliability.montecarlo import (
+    ReliabilityResult,
+    run_reliability_experiment,
+)
+from repro.reliability.vth import MlcVthModel
+
+#: The schemes Figure 4 compares, plus the unconstrained worst case
+#: (Figure 2(a)) that motivates having constraints at all.
+SCHEMES: Sequence[str] = ("FPS", "RPSfull", "RPShalf", "unconstrained")
+
+
+@dataclasses.dataclass
+class Fig4Result:
+    """Per-scheme reliability measurements."""
+
+    results: Dict[str, ReliabilityResult]
+    blocks: int
+    wordlines: int
+    condition: OperatingCondition
+
+    @property
+    def pages(self) -> int:
+        """Measured page population per scheme."""
+        return self.blocks * self.wordlines
+
+    def wpi_table(self) -> str:
+        """Figure 4(a): box statistics of the total WPi per page."""
+        headers = ["scheme", "min", "p25", "median", "p75", "max"]
+        rows = []
+        for scheme in self.results:
+            stats = self.results[scheme].wpi
+            rows.append([scheme, f"{stats.minimum:.3f}",
+                         f"{stats.p25:.3f}", f"{stats.median:.3f}",
+                         f"{stats.p75:.3f}", f"{stats.maximum:.3f}"])
+        return render_table(headers, rows)
+
+    def ber_table(self) -> str:
+        """Figure 4(b): box statistics of the per-page BER."""
+        headers = ["scheme", "min", "p25", "median", "p75", "max"]
+        rows = []
+        for scheme in self.results:
+            stats = self.results[scheme].ber
+            rows.append([scheme, f"{stats.minimum:.2e}",
+                         f"{stats.p25:.2e}", f"{stats.median:.2e}",
+                         f"{stats.p75:.2e}", f"{stats.maximum:.2e}"])
+        return render_table(headers, rows)
+
+    def rps_matches_fps(self, tolerance: float = 0.02) -> bool:
+        """The paper's claim: RPS orders are no worse than FPS.
+
+        Checks that the median WPi of ``RPSfull``/``RPShalf`` does not
+        exceed FPS's by more than ``tolerance`` (relative) and likewise
+        for the median BER (with a looser absolute floor, since BER
+        medians are tiny).
+        """
+        fps = self.results["FPS"]
+        for scheme in ("RPSfull", "RPShalf"):
+            if scheme not in self.results:
+                continue
+            rps = self.results[scheme]
+            if rps.wpi.median > fps.wpi.median * (1 + tolerance):
+                return False
+            if rps.ber.median > fps.ber.median * (1 + tolerance) + 1e-5:
+                return False
+        return True
+
+    def render(self) -> str:
+        """Full Figure 4 text report (tables plus box plots)."""
+        from repro.metrics.plots import ascii_box_plot
+
+        wpi_boxes = {scheme: result.wpi
+                     for scheme, result in self.results.items()}
+        return "\n".join([
+            f"Figure 4 reliability comparison "
+            f"({self.blocks} blocks x {self.wordlines} word lines, "
+            f"{self.condition.pe_cycles} P/E cycles, "
+            f"{self.condition.retention_hours / 24:.0f} days retention)",
+            "",
+            "Figure 4(a): total Vth distribution width per page (sum of "
+            "WPi)",
+            self.wpi_table(),
+            "",
+            ascii_box_plot(wpi_boxes),
+            "",
+            "Figure 4(b): bit error rate per page (worst case)",
+            self.ber_table(),
+            "",
+            f"RPS matches FPS reliability: {self.rps_matches_fps()}",
+        ])
+
+
+def run_fig4(
+    schemes: Sequence[str] = SCHEMES,
+    blocks: int = 90,
+    wordlines: int = 64,
+    condition: OperatingCondition = WORST_CASE,
+    model: Optional[MlcVthModel] = None,
+    stress: Optional[StressModel] = None,
+    seed: int = 0,
+) -> Fig4Result:
+    """Run the Figure 4 Monte-Carlo reliability experiment.
+
+    The defaults mirror the paper's population: more than 90 blocks
+    and 5000+ pages per scheme.
+    """
+    results = {
+        scheme: run_reliability_experiment(
+            scheme, blocks=blocks, wordlines=wordlines,
+            condition=condition, model=model, stress=stress, seed=seed,
+        )
+        for scheme in schemes
+    }
+    return Fig4Result(results=results, blocks=blocks, wordlines=wordlines,
+                      condition=condition)

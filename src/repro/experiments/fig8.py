@@ -1,0 +1,177 @@
+"""Figure 8: performance and lifetime comparison of the four FTLs.
+
+Reproduces all three panels:
+
+* **8(a)** — normalised IOPS of pageFTL / parityFTL / rtfFTL / flexFTL
+  under the five workloads (normalised to pageFTL);
+* **8(b)** — normalised block erasure counts under the same runs;
+* **8(c)** — the CDF of write bandwidth for Varmail.
+
+Expected shape (what the paper reports, and what the benchmark
+harness asserts):
+
+* flexFTL >= parityFTL and rtfFTL everywhere;
+* flexFTL ~ pageFTL on the intensive and read-dominant workloads,
+  above pageFTL on Varmail;
+* flexFTL and pageFTL erase the fewest blocks; parityFTL and rtfFTL
+  erase noticeably more;
+* flexFTL's peak write bandwidth on Varmail is ~2x rtfFTL's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunResult,
+    experiment_span,
+    run_workload,
+)
+from repro.metrics.bandwidth import cdf_points, peak_ratio
+from repro.metrics.iops import normalize
+from repro.metrics.report import render_grouped_bars, render_table
+from repro.workloads.benchmarks import build_workload
+
+#: Order the paper's figures use.
+FTLS: Sequence[str] = ("pageFTL", "parityFTL", "rtfFTL", "flexFTL")
+WORKLOADS: Sequence[str] = ("OLTP", "NTRX", "Webserver", "Varmail",
+                            "Fileserver")
+
+#: Measured operations per workload at full scale.
+DEFAULT_OPS: Dict[str, int] = {
+    "OLTP": 16000,
+    "NTRX": 16000,
+    "Webserver": 16000,
+    "Varmail": 24000,
+    "Fileserver": 16000,
+}
+
+
+@dataclasses.dataclass
+class Fig8Result:
+    """All runs of the Figure 8 comparison, keyed [workload][ftl]."""
+
+    runs: Dict[str, Dict[str, RunResult]]
+    span: int
+
+    # -- Figure 8(a) ---------------------------------------------------
+
+    def iops(self) -> Dict[str, Dict[str, float]]:
+        """Raw IOPS per workload and FTL."""
+        return {w: {f: r.iops for f, r in ftls.items()}
+                for w, ftls in self.runs.items()}
+
+    def normalized_iops(self, baseline: str = "pageFTL"
+                        ) -> Dict[str, Dict[str, float]]:
+        """Figure 8(a): IOPS normalised to the baseline FTL."""
+        return {w: normalize(v, baseline) for w, v in self.iops().items()}
+
+    # -- Figure 8(b) ---------------------------------------------------
+
+    def erasures(self) -> Dict[str, Dict[str, float]]:
+        """Raw block erasure counts per workload and FTL."""
+        return {w: {f: float(r.erases) for f, r in ftls.items()}
+                for w, ftls in self.runs.items()}
+
+    def normalized_erasures(self, baseline: str = "pageFTL"
+                            ) -> Dict[str, Dict[str, float]]:
+        """Figure 8(b): erasure counts normalised to the baseline.
+
+        A baseline that erased nothing (possible in short smoke runs)
+        is floored at one erase so the ratios stay defined.
+        """
+        return {w: normalize(v, baseline, zero_floor=1.0)
+                for w, v in self.erasures().items()}
+
+    # -- Figure 8(c) ---------------------------------------------------
+
+    def varmail_cdf(self, fractions: Sequence[float] = (
+            0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+    ) -> Dict[str, List["tuple[float, float]"]]:
+        """Figure 8(c): write-bandwidth CDF points for Varmail."""
+        if "Varmail" not in self.runs:
+            raise KeyError("Varmail was not part of this comparison")
+        return {
+            ftl: cdf_points(result.stats.write_bandwidth, fractions)
+            for ftl, result in self.runs["Varmail"].items()
+        }
+
+    def varmail_peak_ratio(self, numerator: str = "flexFTL",
+                           denominator: str = "rtfFTL") -> float:
+        """The paper's 2.13x peak-bandwidth headline for Varmail."""
+        trackers = {f: r.stats.write_bandwidth
+                    for f, r in self.runs["Varmail"].items()}
+        return peak_ratio(trackers, numerator, denominator)
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        """Full text report: both bar panels plus the Varmail CDF."""
+        parts = [
+            "Figure 8(a): normalized IOPS (baseline pageFTL = 1.0)",
+            render_grouped_bars(self.normalized_iops(), FTLS),
+            "",
+            "Figure 8(b): normalized block erasure counts "
+            "(baseline pageFTL = 1.0)",
+            render_grouped_bars(self.normalized_erasures(), FTLS),
+        ]
+        if "Varmail" in self.runs:
+            from repro.metrics.plots import ascii_cdf
+
+            fine = [f / 20 for f in range(1, 21)]
+            cdf = self.varmail_cdf()
+            fractions = [p[0] for p in next(iter(cdf.values()))]
+            headers = ["CDF"] + [f"{f:.2f}" for f in fractions]
+            rows = [[ftl] + [f"{mbps:.1f}" for _, mbps in points]
+                    for ftl, points in cdf.items()]
+            parts += [
+                "",
+                "Figure 8(c): write bandwidth CDF for Varmail [MB/s]",
+                render_table(headers, rows),
+                "",
+                ascii_cdf(self.varmail_cdf(fine)),
+                "",
+                f"peak bandwidth flexFTL / rtfFTL = "
+                f"{self.varmail_peak_ratio():.2f}x",
+            ]
+        return "\n".join(parts)
+
+
+def run_fig8(
+    workloads: Optional[Sequence[str]] = None,
+    ftls: Sequence[str] = FTLS,
+    config: Optional[ExperimentConfig] = None,
+    ops: Optional[Mapping[str, int]] = None,
+    utilization: float = 0.75,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> Fig8Result:
+    """Run the Figure 8 comparison.
+
+    Args:
+        workloads: workloads to run (default: all five of Table 1).
+        ftls: FTLs to compare (default: the paper's four).
+        config: system configuration (default: scaled device).
+        ops: measured operations per workload.
+        utilization: workload footprint as a fraction of logical space.
+        seed: workload generation seed.
+        scale: multiply the per-workload op counts (0.25 gives a quick
+            smoke-scale run; 1.0 is the full experiment).
+
+    Returns:
+        A :class:`Fig8Result` holding every run.
+    """
+    workloads = list(workloads or WORKLOADS)
+    config = config or ExperimentConfig()
+    base_ops = dict(ops or DEFAULT_OPS)
+    span = experiment_span(config, utilization=utilization)
+    runs: Dict[str, Dict[str, RunResult]] = {}
+    for workload in workloads:
+        total = max(200, int(base_ops.get(workload, 16000) * scale))
+        streams = build_workload(workload, span, total_ops=total, seed=seed)
+        runs[workload] = {}
+        for ftl in ftls:
+            runs[workload][ftl] = run_workload(ftl, streams, config)
+    return Fig8Result(runs=runs, span=span)

@@ -1,0 +1,55 @@
+"""Read-latency analysis across the four FTLs.
+
+Not a paper figure, but a direct consequence of the mechanisms the
+paper models: a host read must wait for the chip's in-flight program,
+so the page-type mix an FTL writes shapes the read tail — a 2000 us
+MSB program can stall a read four times longer than an LSB program.
+This experiment reports per-FTL read-latency percentiles under one
+workload, using the same runs as the Figure 8 machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunResult,
+    experiment_span,
+    run_workload,
+)
+from repro.metrics.latency import summary_row
+from repro.metrics.report import render_table
+from repro.workloads.benchmarks import build_workload
+
+DEFAULT_FTLS: Sequence[str] = ("pageFTL", "parityFTL", "rtfFTL",
+                               "flexFTL")
+
+
+def run_read_latency_comparison(
+    workload: str = "NTRX",
+    ftls: Sequence[str] = DEFAULT_FTLS,
+    total_ops: int = 12000,
+    utilization: float = 0.75,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, RunResult]:
+    """Run one workload on several FTLs; returns results by FTL name."""
+    config = config or ExperimentConfig()
+    span = experiment_span(config, utilization=utilization)
+    streams = build_workload(workload, span, total_ops=total_ops,
+                             seed=seed)
+    return {ftl: run_workload(ftl, streams, config) for ftl in ftls}
+
+
+def render_read_latency(results: Dict[str, RunResult]) -> str:
+    """Render the per-FTL read-latency percentile table (ms)."""
+    rows: List[List[str]] = []
+    for ftl, result in results.items():
+        samples = result.stats.read_latencies
+        if not samples:
+            rows.append([ftl, "-", "-", "-", "-", "-"])
+            continue
+        rows.append(summary_row(ftl, samples))
+    return render_table(
+        ["FTL", "mean [ms]", "p50", "p95", "p99", "max"], rows)

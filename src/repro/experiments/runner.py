@@ -1,0 +1,230 @@
+"""System assembly and measured runs for the evaluation experiments.
+
+The paper's testbed is a 16 GB BlueDBM slice; a pure-Python DES cannot
+replay multi-gigabyte workloads in reasonable time, so experiments
+default to :data:`EXPERIMENT_GEOMETRY`, a proportionally scaled device
+(same channel/chip structure, smaller block count and page count per
+block).  Every run preconditions the device with a full sequential
+fill, then measures the workload phase only (fresh statistics, counter
+deltas), which is standard SSD evaluation methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.flexftl import FlexFtl
+from repro.core.page_allocator import PolicyConfig
+from repro.core.predictor import EwmaBurstPredictor
+from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.ftl.parityftl import ParityFtl
+from repro.ftl.rtfftl import RtfFtl
+from repro.ftl.slcftl import SlcFtl
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.sequence import SequenceScheme
+from repro.nand.timing import NandTiming
+from repro.sim.controller import StorageController
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.kernel import Simulator
+from repro.sim.queues import WriteBuffer
+from repro.sim.stats import SimStats
+from repro.workloads.synthetic import sequential_fill
+
+#: FTL name -> (class, sequence scheme its device must enforce).
+FTL_REGISTRY: Dict[str, Tuple[Type[BaseFtl], SequenceScheme]] = {
+    "pageFTL": (PageFtl, SequenceScheme.FPS),
+    "parityFTL": (ParityFtl, SequenceScheme.FPS),
+    "rtfFTL": (RtfFtl, SequenceScheme.FPS),
+    "flexFTL": (FlexFtl, SequenceScheme.RPS),
+    # Related-work baseline (Section 5, ref [4]): LSB-only at half
+    # capacity; not part of the paper's Figure 8 comparison.
+    "slcFTL": (SlcFtl, SequenceScheme.RPS),
+}
+
+#: Scaled-down evaluation device: 4 channels x 2 chips, 64 blocks/chip,
+#: 64 pages/block (32 word lines), 4-KB pages — ~128 MB raw.
+EXPERIMENT_GEOMETRY = NandGeometry(
+    channels=4,
+    chips_per_channel=2,
+    blocks_per_chip=64,
+    pages_per_block=64,
+    page_size=4096,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to build one simulated storage system."""
+
+    geometry: NandGeometry = EXPERIMENT_GEOMETRY
+    timing: NandTiming = NandTiming()
+    buffer_pages: int = 256
+    ftl_config: FtlConfig = FtlConfig()
+    policy_config: PolicyConfig = PolicyConfig()
+    bandwidth_window: float = 0.05
+    warmup: bool = True
+    #: flexFTL parity granularity (0 = per block; see FlexFtl).
+    flex_parity_interval: int = 0
+    #: rtfFTL active blocks per chip (the paper's setup: 8).
+    rtf_active_blocks: int = 8
+    #: give flexFTL a future-write predictor (the Section 6 extension).
+    flex_use_predictor: bool = False
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one measured workload run."""
+
+    ftl_name: str
+    stats: SimStats
+    counters: Dict[str, int]
+    events: int
+    logical_pages: int
+
+    @property
+    def iops(self) -> float:
+        """Completed host requests per second (Figure 8(a) metric)."""
+        return self.stats.iops()
+
+    @property
+    def erases(self) -> int:
+        """Block erasures during the measured phase (Figure 8(b))."""
+        return self.counters["erases"]
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC + backup programs) / host programs."""
+        host = max(1, self.counters["host_programs"])
+        total = (self.counters["host_programs"]
+                 + self.counters["gc_programs"]
+                 + self.counters["backup_programs"])
+        return total / host
+
+
+def build_system(
+    ftl_name: str,
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[Simulator, NandArray, WriteBuffer, BaseFtl, StorageController]:
+    """Instantiate a complete simulated storage system."""
+    if ftl_name not in FTL_REGISTRY:
+        raise KeyError(
+            f"unknown FTL {ftl_name!r}; choose from {sorted(FTL_REGISTRY)}"
+        )
+    config = config or ExperimentConfig()
+    ftl_cls, scheme = FTL_REGISTRY[ftl_name]
+    sim = Simulator()
+    array = NandArray(config.geometry, config.timing, scheme=scheme)
+    buffer = WriteBuffer(config.buffer_pages)
+    if ftl_cls is FlexFtl:
+        predictor = (EwmaBurstPredictor()
+                     if config.flex_use_predictor else None)
+        ftl: BaseFtl = FlexFtl(array, buffer, config.ftl_config,
+                               policy_config=config.policy_config,
+                               parity_interval=config.flex_parity_interval,
+                               predictor=predictor)
+    elif ftl_cls is RtfFtl:
+        ftl = RtfFtl(array, buffer, config.ftl_config,
+                     active_blocks=config.rtf_active_blocks)
+    else:
+        ftl = ftl_cls(array, buffer, config.ftl_config)
+    stats = SimStats(page_size=config.geometry.page_size,
+                     bandwidth_window=config.bandwidth_window)
+    controller = StorageController(sim, array, ftl, buffer, stats)
+    return sim, array, buffer, ftl, controller
+
+
+def _snapshot(ftl: BaseFtl) -> Dict[str, int]:
+    return dict(ftl.counters())
+
+
+#: The paper's Figure 8 contenders (slcFTL is a related-work extra
+#: with half the logical space; including it would shrink every
+#: comparison's footprint).
+PAPER_FTLS: Tuple[str, ...] = ("pageFTL", "parityFTL", "rtfFTL",
+                               "flexFTL")
+
+
+def experiment_span(config: Optional[ExperimentConfig] = None,
+                    utilization: float = 0.6,
+                    ftls: Optional[Sequence[str]] = None) -> int:
+    """Logical footprint shared by all FTLs of a comparison.
+
+    The paper's benchmarks occupy a fraction of the 16 GB board; we
+    mirror that by sizing every workload to ``utilization`` of the
+    *smallest* logical space among the compared FTLs (the backup FTLs
+    reserve blocks, so their logical space is slightly smaller), which
+    keeps the workload identical across FTLs.
+    """
+    if not (0.0 < utilization <= 1.0):
+        raise ValueError("utilization must be in (0, 1]")
+    config = config or ExperimentConfig()
+    smallest = None
+    for name in (ftls or PAPER_FTLS):
+        _, _, _, ftl, _ = build_system(name, config)
+        if smallest is None or ftl.logical_pages < smallest:
+            smallest = ftl.logical_pages
+    assert smallest is not None
+    return max(1, int(smallest * utilization))
+
+
+def run_workload(
+    ftl_name: str,
+    streams: Sequence[Sequence[StreamOp]],
+    config: Optional[ExperimentConfig] = None,
+    max_events: Optional[int] = None,
+    warmup_span: Optional[int] = None,
+) -> RunResult:
+    """Precondition, run one workload, and report measured-phase results.
+
+    Args:
+        ftl_name: a :data:`FTL_REGISTRY` key.
+        streams: closed-loop worker streams (see
+            :func:`repro.workloads.benchmarks.build_workload`).
+        config: system configuration.
+        max_events: optional simulation event cap (safety backstop).
+        warmup_span: logical pages to precondition (defaults to the
+            workload's footprint: the highest page any stream touches).
+
+    Returns:
+        A :class:`RunResult` whose statistics and counters cover only
+        the measured phase (warmup excluded).
+    """
+    config = config or ExperimentConfig()
+    sim, array, buffer, ftl, controller = build_system(ftl_name, config)
+
+    if config.warmup:
+        if warmup_span is None:
+            touched = [op.lpn + op.npages for stream in streams
+                       for op in stream]
+            warmup_span = min(ftl.logical_pages,
+                              max(touched) if touched else 1)
+        fill = sequential_fill(warmup_span)
+        warmup_host = ClosedLoopHost(sim, controller, [fill])
+        warmup_host.start()
+        sim.run(max_events=max_events)
+        if isinstance(ftl, FlexFtl):
+            # The fill saturates the device and exhausts the LSB quota;
+            # the measured phase starts from the paper's initial state.
+            ftl.quota.reset()
+
+    baseline = _snapshot(ftl)
+    measured_stats = SimStats(page_size=config.geometry.page_size,
+                              bandwidth_window=config.bandwidth_window)
+    controller.stats = measured_stats
+
+    host = ClosedLoopHost(sim, controller, streams)
+    host.start()
+    sim.run(max_events=max_events)
+
+    final = _snapshot(ftl)
+    deltas = {key: final[key] - baseline.get(key, 0) for key in final}
+    return RunResult(
+        ftl_name=ftl_name,
+        stats=measured_stats,
+        counters=deltas,
+        events=sim.processed,
+        logical_pages=ftl.logical_pages,
+    )

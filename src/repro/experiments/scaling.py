@@ -1,0 +1,78 @@
+"""Parallelism scaling study: IOPS vs device width.
+
+A sanity check of the discrete-event substrate the paper's results
+ride on: with the workload held proportional to the device, IOPS
+should scale close to linearly with the number of chips until the
+channel buses saturate.  Also useful for sizing experiment geometries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    RunResult,
+    run_workload,
+)
+from repro.metrics.report import render_table
+from repro.nand.geometry import NandGeometry
+from repro.workloads.benchmarks import build_workload
+
+
+@dataclasses.dataclass
+class ScalingResult:
+    """IOPS per device width."""
+
+    points: List[Tuple[int, RunResult]]  # (total chips, result)
+
+    def iops_by_chips(self) -> Dict[int, float]:
+        """IOPS keyed by total chip count."""
+        return {chips: result.iops for chips, result in self.points}
+
+    def render(self) -> str:
+        """Render the chips/IOPS/speedup/efficiency table."""
+        base_chips, base = self.points[0]
+        rows = []
+        for chips, result in self.points:
+            speedup = result.iops / base.iops if base.iops else 0.0
+            rows.append([chips, f"{result.iops:.0f}",
+                         f"{speedup:.2f}",
+                         f"{speedup / (chips / base_chips):.2f}"])
+        return render_table(
+            ["chips", "IOPS", "speedup", "efficiency"], rows)
+
+
+def run_scaling_study(
+    channel_counts: Sequence[int] = (1, 2, 4, 8),
+    chips_per_channel: int = 2,
+    ftl: str = "flexFTL",
+    workload: str = "NTRX",
+    ops_per_chip: int = 1200,
+    utilization: float = 0.7,
+    seed: int = 1,
+    base_config: Optional[ExperimentConfig] = None,
+) -> ScalingResult:
+    """Sweep channel count; workload and footprint scale with it."""
+    base_config = base_config or ExperimentConfig()
+    points: List[Tuple[int, RunResult]] = []
+    for channels in channel_counts:
+        geometry = NandGeometry(
+            channels=channels,
+            chips_per_channel=chips_per_channel,
+            blocks_per_chip=base_config.geometry.blocks_per_chip,
+            pages_per_block=base_config.geometry.pages_per_block,
+            page_size=base_config.geometry.page_size,
+        )
+        config = dataclasses.replace(base_config, geometry=geometry)
+        chips = geometry.total_chips
+        # footprint proportional to the device, seed shared
+        data_pages = (geometry.blocks_per_chip
+                      * geometry.pages_per_block * chips)
+        span = max(64, int(data_pages * 0.8 * utilization))
+        streams = build_workload(workload, span,
+                                 total_ops=ops_per_chip * chips,
+                                 seed=seed)
+        points.append((chips, run_workload(ftl, streams, config)))
+    return ScalingResult(points=points)

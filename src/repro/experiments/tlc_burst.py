@@ -1,0 +1,120 @@
+"""TLC burst-service experiment: RPS's value grows with bit density.
+
+On 2-bit MLC the paper's burst mechanism serves writes at tLSB=500 us
+instead of the FPS average of (500+2000)/2 = 1250 us — a 2.5x peak
+gain.  On TLC the asymmetry steepens (500/2000/5500 us), so a
+three-phase RPS-TLC order that front-loads all LSB pages wins ~5.3x
+at the peak.  This experiment drives one enforcing TLC chip through
+both orders, measuring burst service times and the full-block
+completion time directly.
+
+Setup: a burst of ``burst_pages`` host pages arrives at an idle chip;
+the FPS-TLC FTL must follow the staggered order (mixed page types),
+while the RPS-TLC FTL allocates LSB pages first and defers the
+CSB/MSB phases to idle time (exactly flexFTL's 2PO idea, one level
+deeper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.metrics.report import render_table
+from repro.nand.tlc import (
+    TLC_PROGRAM_TIMES,
+    TlcScheme,
+    fps_tlc_order,
+    rps_tlc_full_order,
+    tlc_split_index,
+)
+from repro.nand.tlc_device import TlcChip
+
+
+@dataclasses.dataclass
+class BurstOutcome:
+    """Timing of one burst served by one programming discipline."""
+
+    scheme: str
+    burst_pages: int
+    burst_service_time: float  # time to program the burst's pages
+    block_completion_time: float  # time until the block is fully used
+    page_type_mix: Dict[str, int]
+
+    @property
+    def burst_bandwidth_pages_per_s(self) -> float:
+        """Pages served per second during the burst."""
+        return self.burst_pages / self.burst_service_time
+
+
+def serve_burst(order: Sequence[int], scheme: TlcScheme,
+                wordlines: int, burst_pages: int,
+                label: str) -> BurstOutcome:
+    """Program a block in ``order`` on an enforcing TLC chip.
+
+    The first ``burst_pages`` programs are the burst; the remainder is
+    the deferred catch-up work.  Legality is enforced by the device.
+    """
+    if burst_pages > 3 * wordlines:
+        raise ValueError("burst larger than the block")
+    chip = TlcChip(0, blocks=1, wordlines_per_block=wordlines,
+                   scheme=scheme)
+    elapsed = 0.0
+    burst_time = 0.0
+    mix: Dict[str, int] = {}
+    for position, index in enumerate(order):
+        wordline, ptype = tlc_split_index(index)
+        elapsed += chip.program(0, wordline, ptype)
+        if position < burst_pages:
+            burst_time = elapsed
+            mix[ptype.name] = mix.get(ptype.name, 0) + 1
+    return BurstOutcome(
+        scheme=label,
+        burst_pages=burst_pages,
+        burst_service_time=burst_time,
+        block_completion_time=elapsed,
+        page_type_mix=mix,
+    )
+
+
+def run_tlc_burst_experiment(wordlines: int = 64,
+                             burst_pages: int = 48
+                             ) -> List[BurstOutcome]:
+    """Compare FPS-TLC and three-phase RPS-TLC burst service."""
+    outcomes = [
+        serve_burst(fps_tlc_order(wordlines), TlcScheme.FPS,
+                    wordlines, burst_pages, "FPS-TLC (staggered)"),
+        serve_burst(rps_tlc_full_order(wordlines), TlcScheme.RPS,
+                    wordlines, burst_pages, "RPS-TLC (three-phase)"),
+    ]
+    return outcomes
+
+
+def render_tlc_burst(outcomes: Sequence[BurstOutcome]) -> str:
+    """Render the comparison plus the MLC-vs-TLC leverage statement."""
+    rows = []
+    for outcome in outcomes:
+        mix = "/".join(f"{k}:{v}" for k, v in
+                       sorted(outcome.page_type_mix.items()))
+        rows.append([
+            outcome.scheme,
+            f"{outcome.burst_service_time * 1e3:.2f}",
+            f"{outcome.burst_bandwidth_pages_per_s:.0f}",
+            f"{outcome.block_completion_time * 1e3:.2f}",
+            mix,
+        ])
+    table = render_table(
+        ["discipline", "burst time [ms]", "burst pages/s",
+         "block total [ms]", "burst page mix"], rows)
+    fps, rps = outcomes[0], outcomes[1]
+    speedup = fps.burst_service_time / rps.burst_service_time
+    mlc_peak = (500e-6 + 2000e-6) / 2 / 500e-6
+    tlc_peak = (sum(TLC_PROGRAM_TIMES.values()) / 3
+                / TLC_PROGRAM_TIMES[list(TLC_PROGRAM_TIMES)[0]])
+    return "\n".join([
+        table,
+        "",
+        f"measured burst speedup RPS-TLC / FPS-TLC: {speedup:.2f}x",
+        f"(theoretical peak: MLC {mlc_peak:.2f}x, TLC {tlc_peak:.2f}x "
+        f"— the paper's mechanism gains leverage with bit density)",
+    ])

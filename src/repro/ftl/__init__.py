@@ -1,0 +1,28 @@
+"""Flash translation layers.
+
+:mod:`repro.ftl.base` provides the machinery shared by all four FTLs
+of the paper's evaluation — page-level mapping, block pools, greedy
+garbage collection, and the controller-facing operation interface.
+The three FPS-based baselines live here (:class:`PageFtl`,
+:class:`ParityFtl`, :class:`RtfFtl`); the paper's RPS-aware flexFTL
+lives in :mod:`repro.core.flexftl`.
+"""
+
+from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.mapping import MappingTable
+from repro.ftl.backup import BackupBlockManager
+from repro.ftl.pageftl import PageFtl
+from repro.ftl.parityftl import ParityFtl
+from repro.ftl.rtfftl import RtfFtl
+from repro.ftl.slcftl import SlcFtl
+
+__all__ = [
+    "BaseFtl",
+    "FtlConfig",
+    "MappingTable",
+    "BackupBlockManager",
+    "PageFtl",
+    "ParityFtl",
+    "RtfFtl",
+    "SlcFtl",
+]

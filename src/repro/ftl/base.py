@@ -1,0 +1,488 @@
+"""Machinery shared by all evaluated FTLs.
+
+:class:`BaseFtl` implements everything the paper's four FTLs have in
+common: page-level mapping, per-chip block pools, greedy garbage
+collection (foreground when a write cannot be placed, background during
+idle times when free blocks drop under 10 % of capacity, as Section 4.1
+specifies for *all* FTLs), and the controller-facing operation
+interface.  Subclasses decide page placement — which block, which page
+type, in which program order — and their backup policy.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.ftl.backup import BackupBlockManager
+from repro.ftl.mapping import MappingTable
+from repro.nand.array import NandArray
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType, page_index
+from repro.sim.ops import FlashOp, OpKind
+from repro.sim.queues import WriteBuffer
+
+
+@dataclasses.dataclass(frozen=True)
+class FtlConfig:
+    """Tunables shared by all FTLs (paper values as defaults).
+
+    Attributes:
+        op_ratio: fraction of data capacity withheld from the logical
+            view (over-provisioning).
+        gc_threshold_fraction: background GC triggers when a chip's
+            free blocks fall below this fraction of its data blocks
+            (paper: 10 % of total capacity).
+        gc_reserve_blocks: free blocks kept back from host allocation
+            so garbage collection always has room to relocate into.
+        backup_blocks_per_chip: blocks reserved per chip for parity
+            backup pages (only used by FTLs with ``uses_backup``).
+        bg_gc_enabled: allow background GC during idle times.
+        bg_gc_min_invalid_fraction: a background GC only starts when
+            its victim has at least this fraction of invalid pages —
+            idle-time collection should reclaim cheap blocks, not churn
+            nearly-full ones (foreground GC, which is forced, has no
+            such floor).
+        gc_policy: victim selection policy — ``"greedy"`` (most
+            invalid pages; what the paper's FTLs use) or
+            ``"cost_benefit"`` (age-weighted benefit/cost after
+            Kawaguchi et al., which separates hot and cold blocks).
+        wear_aware_allocation: pick the least-worn free block instead
+            of recycling in FIFO order (a light static wear-levelling
+            substitute; off by default to match the paper's FTLs).
+    """
+
+    op_ratio: float = 0.20
+    gc_threshold_fraction: float = 0.10
+    gc_reserve_blocks: int = 2
+    backup_blocks_per_chip: int = 2
+    bg_gc_enabled: bool = True
+    bg_gc_min_invalid_fraction: float = 0.25
+    gc_policy: str = "greedy"
+    wear_aware_allocation: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.op_ratio < 1.0):
+            raise ValueError("op_ratio must be in (0, 1)")
+        if not (0.0 <= self.gc_threshold_fraction < 1.0):
+            raise ValueError("gc_threshold_fraction must be in [0, 1)")
+        if self.gc_reserve_blocks < 1:
+            raise ValueError("gc_reserve_blocks must be at least 1")
+        if self.backup_blocks_per_chip < 1:
+            raise ValueError("backup_blocks_per_chip must be at least 1")
+        if not (0.0 <= self.bg_gc_min_invalid_fraction <= 1.0):
+            raise ValueError(
+                "bg_gc_min_invalid_fraction must be in [0, 1]"
+            )
+        if self.gc_policy not in ("greedy", "cost_benefit"):
+            raise ValueError(
+                f"unknown gc_policy {self.gc_policy!r}; choose "
+                f"'greedy' or 'cost_benefit'"
+            )
+
+
+class GcJob:
+    """State of one in-progress garbage collection on one chip."""
+
+    def __init__(self, victim_block: int, victim_gb: int,
+                 valid_lpns: List[int], background: bool) -> None:
+        self.victim_block = victim_block
+        self.victim_gb = victim_gb
+        self.valid_lpns: Deque[int] = deque(valid_lpns)
+        self.background = background
+        self.copied = 0
+
+
+class ChipState:
+    """Per-chip bookkeeping common to all FTLs."""
+
+    def __init__(self, chip_id: int) -> None:
+        self.chip_id = chip_id
+        self.free_blocks: Deque[int] = deque()
+        self.full_blocks: Set[int] = set()
+        self.pending: Deque[FlashOp] = deque()
+        self.gc: Optional[GcJob] = None
+        self.backup: Optional[BackupBlockManager] = None
+
+
+class BaseFtl(abc.ABC):
+    """Abstract page-mapping FTL driving one NAND array.
+
+    The controller interacts with an FTL through four methods:
+    :meth:`next_op` (host-driven work for an idle chip),
+    :meth:`wants_background_gc` / :meth:`background_op` (idle-time
+    work), and :meth:`lookup` (read address resolution).
+    """
+
+    #: Human-readable FTL name (used in reports).
+    name: str = "base"
+    #: Whether this FTL reserves backup blocks for parity pages.
+    uses_backup: bool = False
+    #: Program order inside backup blocks: "fps" for FPS devices,
+    #: "lsb" for RPS devices writing parity to LSB pages only.
+    backup_order: str = "fps"
+
+    def __init__(self, array: NandArray, write_buffer: WriteBuffer,
+                 config: Optional[FtlConfig] = None) -> None:
+        self.array = array
+        self.geometry = array.geometry
+        self.write_buffer = write_buffer
+        self.config = config or FtlConfig()
+        self.wordlines = self.geometry.wordlines_per_block
+
+        backup_blocks = (self.config.backup_blocks_per_chip
+                         if self.uses_backup else 0)
+        if backup_blocks >= self.geometry.blocks_per_chip:
+            raise ValueError("backup blocks exceed blocks per chip")
+        self.data_blocks_per_chip = self.geometry.blocks_per_chip \
+            - backup_blocks
+
+        self.chips: List[ChipState] = []
+        for chip_id in self.geometry.iter_chip_ids():
+            state = ChipState(chip_id)
+            state.free_blocks.extend(range(self.data_blocks_per_chip))
+            if self.uses_backup:
+                reserved = list(range(self.data_blocks_per_chip,
+                                      self.geometry.blocks_per_chip))
+                state.backup = BackupBlockManager(
+                    reserved, self.wordlines, order=self.backup_order
+                )
+            self.chips.append(state)
+
+        data_pages = (self.data_blocks_per_chip
+                      * self.geometry.pages_per_block
+                      * self.geometry.total_chips)
+        self.logical_pages = max(1, int(data_pages
+                                        * (1.0 - self.config.op_ratio)))
+        self.mapping = MappingTable(self.geometry, self.logical_pages)
+
+        self.gc_threshold_blocks = max(
+            1, int(self.data_blocks_per_chip
+                   * self.config.gc_threshold_fraction)
+        )
+
+        # logical write clock for cost-benefit victim ageing: one tick
+        # per page program, per-block stamp of the latest write
+        self._write_clock = 0
+        self._block_write_stamp: List[int] = [0] * self.geometry.total_blocks
+
+        # accounting
+        self.host_programs = 0
+        self.gc_programs = 0
+        self.backup_programs = 0
+        self.foreground_gcs = 0
+        self.background_gcs = 0
+
+    # ------------------------------------------------------------------
+    # controller interface
+
+    def next_op(self, chip_id: int, now: float) -> Optional[FlashOp]:
+        """Host-driven work for an idle chip, or None.
+
+        Order of precedence: queued operations (parity writes, the
+        program half of a GC page copy), steps of an in-progress
+        *foreground* GC, then a host page write from the write buffer
+        (which may itself kick off a foreground GC when no free page
+        can be allocated).
+        """
+        state = self.chips[chip_id]
+        if state.pending:
+            return state.pending.popleft()
+        if state.gc is not None and not state.gc.background:
+            return self._gc_step(chip_id)
+        return self._host_write_op(chip_id, now)
+
+    def wants_background_gc(self, chip_id: int) -> bool:
+        """Whether idle-time work is available for this chip."""
+        if not self.config.bg_gc_enabled:
+            return False
+        state = self.chips[chip_id]
+        if state.pending or state.gc is not None:
+            return True
+        return (len(state.free_blocks) < self.gc_threshold_blocks
+                and self._select_victim(
+                    chip_id, self._bg_min_invalid()) is not None)
+
+    def background_op(self, chip_id: int, now: float) -> Optional[FlashOp]:
+        """Idle-time work: continue or start a background GC."""
+        state = self.chips[chip_id]
+        if state.pending:
+            return state.pending.popleft()
+        if state.gc is not None:
+            return self._gc_step(chip_id)
+        if not self.config.bg_gc_enabled:
+            return None
+        if len(state.free_blocks) >= self.gc_threshold_blocks:
+            return None
+        victim = self._select_victim(chip_id, self._bg_min_invalid())
+        if victim is None:
+            return None
+        self._begin_gc(chip_id, victim, background=True)
+        return self._gc_step(chip_id)
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Current physical page of ``lpn`` (None when unmapped)."""
+        return self.mapping.lookup(lpn)
+
+    # ------------------------------------------------------------------
+    # host write path
+
+    def _host_write_op(self, chip_id: int, now: float) -> Optional[FlashOp]:
+        if self.write_buffer.is_empty:
+            return None
+        alloc = self._allocate_host_page(chip_id, now)
+        if alloc is None:
+            state = self.chips[chip_id]
+            if state.gc is None:
+                victim = self._select_victim(chip_id)
+                if victim is not None:
+                    self._begin_gc(chip_id, victim, background=False)
+            elif state.gc.background:
+                # A background collection is in the way of an urgent
+                # write: promote it and finish it in the foreground.
+                state.gc.background = False
+            if state.gc is not None and not state.gc.background:
+                return self._gc_step(chip_id)
+            return None
+        addr, ptype = alloc
+        entry = self.write_buffer.pop()
+        ppn = self.geometry.ppn(addr)
+        self.mapping.map_write(entry.lpn, ppn)
+        self._note_block_write(self.mapping.global_block(ppn))
+        self.host_programs += 1
+        self._after_host_program(chip_id, addr, ptype, now)
+        return FlashOp(OpKind.PROGRAM, addr, tag="host", lpn=entry.lpn)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+
+    def _note_block_write(self, global_block: int) -> None:
+        """Advance the logical write clock and stamp the block."""
+        self._write_clock += 1
+        self._block_write_stamp[global_block] = self._write_clock
+
+    def _victim_score(self, global_block: int, invalid: int) -> float:
+        """Victim desirability under the configured policy (higher =
+        better)."""
+        if self.config.gc_policy == "greedy":
+            return float(invalid)
+        # cost-benefit: (1 - u) * age / (2 u); a fully-invalid block is
+        # a free win regardless of age.
+        pages = self.geometry.pages_per_block
+        u = (pages - invalid) / pages
+        if u <= 0.0:
+            return float("inf")
+        age = self._write_clock - self._block_write_stamp[global_block]
+        return (1.0 - u) * max(1, age) / (2.0 * u)
+
+    def _select_victim(self, chip_id: int,
+                       min_invalid: int = 1) -> Optional[int]:
+        """Pick a GC victim among the chip's full blocks.
+
+        Only blocks with at least ``min_invalid`` invalid pages are
+        eligible; among those the configured policy scores candidates —
+        greedy (most invalid; what the paper's FTLs use) or
+        age-weighted cost-benefit.
+        """
+        state = self.chips[chip_id]
+        best_block: Optional[int] = None
+        best_score = float("-inf")
+        for block in state.full_blocks:
+            gb = self.mapping.global_block_of(chip_id, block)
+            invalid = self.mapping.invalid_count(gb)
+            if invalid < min_invalid:
+                continue
+            score = self._victim_score(gb, invalid)
+            if score > best_score:
+                best_score = score
+                best_block = block
+        return best_block
+
+    def _bg_min_invalid(self) -> int:
+        """Invalid-page floor for background victim selection."""
+        return max(1, int(self.geometry.pages_per_block
+                          * self.config.bg_gc_min_invalid_fraction))
+
+    def _begin_gc(self, chip_id: int, victim_block: int,
+                  background: bool) -> None:
+        state = self.chips[chip_id]
+        if state.gc is not None:
+            raise RuntimeError(f"chip {chip_id} already collecting")
+        gb = self.mapping.global_block_of(chip_id, victim_block)
+        valid = list(self.mapping.valid_lpns_in_block(gb))
+        state.gc = GcJob(victim_block, gb, valid, background)
+        state.full_blocks.discard(victim_block)
+        if background:
+            self.background_gcs += 1
+        else:
+            self.foreground_gcs += 1
+
+    def _gc_step(self, chip_id: int, *_unused: object) -> Optional[FlashOp]:
+        """Produce the next GC operation for the chip.
+
+        Page copies are emitted as a read immediately followed (via the
+        pending queue) by the program of the relocated page; when no
+        valid pages remain the victim is erased and returned to the
+        free pool.
+        """
+        state = self.chips[chip_id]
+        job = state.gc
+        if job is None:
+            return None
+        while job.valid_lpns:
+            lpn = job.valid_lpns.popleft()
+            ppn = self.mapping.lookup(lpn)
+            if ppn is None or self.mapping.global_block(ppn) != job.victim_gb:
+                continue  # superseded by a newer host write meanwhile
+            target = self._allocate_gc_page(chip_id)
+            if target is None:
+                # No room to relocate: abandon for now, retry later.
+                job.valid_lpns.appendleft(lpn)
+                return None
+            target_addr, target_ptype = target
+            source_addr = self.geometry.address_of(ppn)
+            target_ppn = self.geometry.ppn(target_addr)
+            self.mapping.map_write(lpn, target_ppn)
+            self._note_block_write(self.mapping.global_block(target_ppn))
+            self.gc_programs += 1
+            job.copied += 1
+            self._after_gc_program(chip_id, target_addr, target_ptype)
+            state.pending.append(
+                FlashOp(OpKind.PROGRAM, target_addr, tag="gc", lpn=lpn)
+            )
+            return FlashOp(OpKind.READ, source_addr, tag="gc", lpn=lpn)
+        # victim drained: erase it and recycle
+        state.gc = None
+        self.mapping.note_block_erased(job.victim_gb)
+        state.free_blocks.append(job.victim_block)
+        self._after_gc_complete(chip_id, job)
+        erase_addr = PhysicalPageAddress(
+            *self.geometry.chip_coords(chip_id), job.victim_block, 0
+        )
+        return FlashOp(OpKind.ERASE, erase_addr, tag="gc")
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+
+    def _take_free_block(self, chip_id: int, for_gc: bool = False
+                         ) -> Optional[int]:
+        """Pop a free block; host allocations respect the GC reserve."""
+        state = self.chips[chip_id]
+        if not for_gc and len(state.free_blocks) \
+                <= self.config.gc_reserve_blocks:
+            return None
+        if not state.free_blocks:
+            return None
+        if not self.config.wear_aware_allocation:
+            return state.free_blocks.popleft()
+        chip = self.array.chips[chip_id]
+        chosen = min(state.free_blocks,
+                     key=lambda block: chip.blocks[block].erase_count)
+        state.free_blocks.remove(chosen)
+        return chosen
+
+    def _page_address(self, chip_id: int, block: int, wordline: int,
+                      ptype: PageType) -> PhysicalPageAddress:
+        """Build a physical address from chip-local coordinates."""
+        channel, chip = self.geometry.chip_coords(chip_id)
+        return PhysicalPageAddress(channel, chip, block,
+                                   page_index(wordline, ptype))
+
+    def _mark_block_full(self, chip_id: int, block: int) -> None:
+        """Move a fully-written block into the GC-eligible full set."""
+        self.chips[chip_id].full_blocks.add(block)
+        self._on_block_full(chip_id, block)
+
+    def _enqueue_parity_backup(self, chip_id: int, owner: object) -> None:
+        """Queue the NAND operations for one parity-page backup.
+
+        Allocates a parity slot for ``owner`` from the chip's backup
+        manager and appends the resulting operations — possibly a
+        backup-block erase plus live-parity re-programs, then the
+        parity program itself — to the chip's pending queue.
+        """
+        state = self.chips[chip_id]
+        if state.backup is None:
+            raise RuntimeError(f"{self.name} has no backup blocks")
+        slot, cycle = state.backup.allocate(owner)
+        channel, chip = self.geometry.chip_coords(chip_id)
+        if cycle is not None:
+            state.pending.append(FlashOp(
+                OpKind.ERASE,
+                PhysicalPageAddress(channel, chip, cycle.erase_block, 0),
+                tag="backup",
+            ))
+            for _owner, new_slot in cycle.relocations:
+                state.pending.append(FlashOp(
+                    OpKind.PROGRAM,
+                    PhysicalPageAddress(channel, chip, new_slot.block,
+                                        new_slot.page),
+                    tag="backup",
+                ))
+                self.backup_programs += 1
+        state.pending.append(FlashOp(
+            OpKind.PROGRAM,
+            PhysicalPageAddress(channel, chip, slot.block, slot.page),
+            tag="backup",
+        ))
+        self.backup_programs += 1
+
+    # ------------------------------------------------------------------
+    # subclass interface
+
+    @abc.abstractmethod
+    def _allocate_host_page(
+        self, chip_id: int, now: float
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        """Pick the physical page for the next host write on a chip.
+
+        Returns None when no page can be allocated without a garbage
+        collection (the base class then drives one).
+        """
+
+    @abc.abstractmethod
+    def _allocate_gc_page(
+        self, chip_id: int
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        """Pick the physical page for a GC relocation on a chip."""
+
+    def _after_host_program(self, chip_id: int,
+                            addr: PhysicalPageAddress,
+                            ptype: PageType, now: float) -> None:
+        """Hook: called after a host page write is placed."""
+
+    def _after_gc_program(self, chip_id: int,
+                          addr: PhysicalPageAddress,
+                          ptype: PageType) -> None:
+        """Hook: called after a GC relocation page is placed."""
+
+    def _on_block_full(self, chip_id: int, block: int) -> None:
+        """Hook: called when a data block becomes fully written."""
+
+    def _after_gc_complete(self, chip_id: int, job: GcJob) -> None:
+        """Hook: called when a GC finishes (victim already recycled)."""
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def free_block_count(self, chip_id: int) -> int:
+        """Free blocks currently available on a chip."""
+        return len(self.chips[chip_id].free_blocks)
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate operation counters for reports."""
+        return {
+            "host_programs": self.host_programs,
+            "gc_programs": self.gc_programs,
+            "backup_programs": self.backup_programs,
+            "foreground_gcs": self.foreground_gcs,
+            "background_gcs": self.background_gcs,
+            "erases": self.array.total_erases,
+            "lsb_programs": self.array.lsb_programs,
+            "msb_programs": self.array.msb_programs,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,95 @@
+"""Write cursors: per-block program-position trackers.
+
+An FTL writes a block through a *cursor* that walks a program order.
+FPS-based FTLs walk the fixed interleaved order of Figure 2(b); flexFTL
+walks the two-phase (2PO / ``RPSfull``) order in two separate cursors —
+an LSB-phase cursor while the block is *fast* and an MSB-phase cursor
+while it is *slow*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nand.page_types import PageType, split_index
+
+
+class FpsCursor:
+    """Walks one block in the fixed program sequence order."""
+
+    def __init__(self, block: int, wordlines: int) -> None:
+        # Imported lazily: repro.core.block_manager imports this module,
+        # so a top-level import of repro.core.rps would be circular.
+        from repro.core.rps import fps_order
+
+        self.block = block
+        self.wordlines = wordlines
+        self._order: List[int] = fps_order(wordlines)
+        self._pos = 0
+
+    @property
+    def done(self) -> bool:
+        """True when every page of the block has been taken."""
+        return self._pos >= len(self._order)
+
+    @property
+    def remaining(self) -> int:
+        """Pages not yet taken."""
+        return len(self._order) - self._pos
+
+    def peek_type(self) -> PageType:
+        """Page type of the next page in the order."""
+        if self.done:
+            raise IndexError(f"block {self.block} cursor exhausted")
+        return split_index(self._order[self._pos])[1]
+
+    def take(self) -> Tuple[int, PageType]:
+        """Consume and return the next ``(wordline, ptype)``."""
+        if self.done:
+            raise IndexError(f"block {self.block} cursor exhausted")
+        index = self._order[self._pos]
+        self._pos += 1
+        return split_index(index)
+
+    def __repr__(self) -> str:
+        return (
+            f"FpsCursor(block={self.block}, pos={self._pos}/"
+            f"{len(self._order)}, next="
+            + ("-" if self.done else self.peek_type().name) + ")"
+        )
+
+
+class PhaseCursor:
+    """Walks one page type of a block in word-line order (2PO phases)."""
+
+    def __init__(self, block: int, wordlines: int, ptype: PageType) -> None:
+        self.block = block
+        self.wordlines = wordlines
+        self.ptype = ptype
+        self._next = 0
+
+    @property
+    def done(self) -> bool:
+        """True when this phase of the block is fully written."""
+        return self._next >= self.wordlines
+
+    @property
+    def remaining(self) -> int:
+        """Pages left in this phase."""
+        return self.wordlines - self._next
+
+    def take(self) -> Tuple[int, PageType]:
+        """Consume and return the next ``(wordline, ptype)``."""
+        if self.done:
+            raise IndexError(
+                f"block {self.block} {self.ptype.name} phase exhausted"
+            )
+        wordline = self._next
+        self._next += 1
+        return wordline, self.ptype
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseCursor(block={self.block}, {self.ptype.name}, "
+            f"{self._next}/{self.wordlines})"
+        )

@@ -1,0 +1,147 @@
+"""Page-level logical-to-physical mapping.
+
+All four evaluated FTLs are page-mapping FTLs: any logical page can
+live on any physical page.  The table also maintains per-block valid
+page counts, which drive greedy garbage-collection victim selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+
+
+class MappingTable:
+    """L2P map plus reverse map and per-block validity accounting.
+
+    Physical pages are identified by their flat physical page number
+    (ppn); blocks by their global block id
+    (``chip_id * blocks_per_chip + block``).
+    """
+
+    def __init__(self, geometry: NandGeometry, logical_pages: int) -> None:
+        if logical_pages <= 0:
+            raise ValueError(
+                f"logical_pages must be positive, got {logical_pages}"
+            )
+        if logical_pages > geometry.total_pages:
+            raise ValueError(
+                f"logical_pages ({logical_pages}) exceeds physical pages "
+                f"({geometry.total_pages})"
+            )
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self._l2p: List[int] = [-1] * logical_pages
+        self._p2l: Dict[int, int] = {}
+        self._valid: List[int] = [0] * geometry.total_blocks
+
+    # ------------------------------------------------------------------
+    # identifiers
+
+    def global_block(self, ppn: int) -> int:
+        """Global block id owning physical page ``ppn``."""
+        return ppn // self.geometry.pages_per_block
+
+    def global_block_of(self, chip_id: int, block: int) -> int:
+        """Global block id of ``block`` on ``chip_id``."""
+        return chip_id * self.geometry.blocks_per_chip + block
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """Current ppn of logical page ``lpn``, or None if unmapped."""
+        self._check_lpn(lpn)
+        ppn = self._l2p[lpn]
+        return None if ppn < 0 else ppn
+
+    def lookup_address(self, lpn: int) -> Optional[PhysicalPageAddress]:
+        """Current physical address of ``lpn``, or None if unmapped."""
+        ppn = self.lookup(lpn)
+        return None if ppn is None else self.geometry.address_of(ppn)
+
+    def lpn_of(self, ppn: int) -> Optional[int]:
+        """Logical page stored at ``ppn`` if that page is valid."""
+        return self._p2l.get(ppn)
+
+    def is_valid(self, ppn: int) -> bool:
+        """Whether ``ppn`` holds current (not superseded) data."""
+        return ppn in self._p2l
+
+    def valid_count(self, global_block: int) -> int:
+        """Number of valid pages in a block."""
+        return self._valid[global_block]
+
+    def invalid_count(self, global_block: int) -> int:
+        """Invalid (superseded) data pages a GC of the block reclaims.
+
+        Note this counts written-and-superseded pages only; it is the
+        caller's job to only consider fully-written blocks.
+        """
+        return self.geometry.pages_per_block - self._valid[global_block]
+
+    def valid_lpns_in_block(self, global_block: int) -> Iterator[int]:
+        """Yield the logical pages currently living in a block."""
+        base = global_block * self.geometry.pages_per_block
+        for ppn in range(base, base + self.geometry.pages_per_block):
+            lpn = self._p2l.get(ppn)
+            if lpn is not None:
+                yield lpn
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def map_write(self, lpn: int, ppn: int) -> Optional[int]:
+        """Point ``lpn`` at ``ppn``; returns the superseded ppn if any."""
+        self._check_lpn(lpn)
+        if ppn in self._p2l:
+            raise ValueError(f"ppn {ppn} already holds lpn {self._p2l[ppn]}")
+        old = self._l2p[lpn]
+        old_ppn: Optional[int] = None
+        if old >= 0:
+            old_ppn = old
+            del self._p2l[old]
+            self._valid[self.global_block(old)] -= 1
+        self._l2p[lpn] = ppn
+        self._p2l[ppn] = lpn
+        self._valid[self.global_block(ppn)] += 1
+        return old_ppn
+
+    def unmap(self, lpn: int) -> Optional[int]:
+        """Drop the mapping for ``lpn`` (TRIM); returns the freed ppn."""
+        self._check_lpn(lpn)
+        ppn = self._l2p[lpn]
+        if ppn < 0:
+            return None
+        self._l2p[lpn] = -1
+        del self._p2l[ppn]
+        self._valid[self.global_block(ppn)] -= 1
+        return ppn
+
+    def note_block_erased(self, global_block: int) -> None:
+        """Sanity hook: a block must be empty of valid data when erased."""
+        if self._valid[global_block] != 0:
+            raise ValueError(
+                f"erasing block {global_block} with "
+                f"{self._valid[global_block]} valid pages"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of logical pages currently mapped."""
+        return len(self._p2l)
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not (0 <= lpn < self.logical_pages):
+            raise IndexError(
+                f"lpn {lpn} out of range [0, {self.logical_pages})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingTable(logical={self.logical_pages}, "
+            f"mapped={self.mapped_pages})"
+        )

@@ -1,0 +1,60 @@
+"""pageFTL: the FPS-based page-mapping baseline.
+
+The paper's performance reference point: a page-level mapping FTL that
+writes each chip's single active block strictly in the fixed program
+sequence order and — operating under a no-sudden-power-off assumption —
+performs **no** paired-page backup.  It therefore marks the maximum
+performance an FPS-based page-mapping FTL can reach.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.cursor import FpsCursor
+from repro.nand.array import NandArray
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType
+from repro.sim.queues import WriteBuffer
+
+
+class PageFtl(BaseFtl):
+    """Baseline FPS page-mapping FTL (no backup overhead)."""
+
+    name = "pageFTL"
+    uses_backup = False
+
+    def __init__(self, array: NandArray, write_buffer: WriteBuffer,
+                 config: Optional[FtlConfig] = None) -> None:
+        super().__init__(array, write_buffer, config)
+        self._active: List[Optional[FpsCursor]] = \
+            [None] * self.geometry.total_chips
+
+    # ------------------------------------------------------------------
+
+    def _allocate(self, chip_id: int, for_gc: bool
+                  ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        cursor = self._active[chip_id]
+        if cursor is None:
+            block = self._take_free_block(chip_id, for_gc=for_gc)
+            if block is None:
+                return None
+            cursor = FpsCursor(block, self.wordlines)
+            self._active[chip_id] = cursor
+        wordline, ptype = cursor.take()
+        addr = self._page_address(chip_id, cursor.block, wordline, ptype)
+        if cursor.done:
+            self._active[chip_id] = None
+            self._mark_block_full(chip_id, cursor.block)
+        return addr, ptype
+
+    def _allocate_host_page(
+        self, chip_id: int, now: float
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        return self._allocate(chip_id, for_gc=False)
+
+    def _allocate_gc_page(
+        self, chip_id: int
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        return self._allocate(chip_id, for_gc=True)

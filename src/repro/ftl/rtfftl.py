@@ -1,0 +1,149 @@
+"""rtfFTL: the return-to-fast baseline after Grupp et al. [5].
+
+Under FPS a single block cannot serve two LSB writes in a row, so
+rtfFTL keeps a **pool of active blocks per chip** (the paper's setup:
+eight).  A host write prefers a block whose next FPS page is an LSB
+page; a burst can thus be served with up to ``active_blocks`` fast
+writes per chip before the pool is exhausted.  During idle times an
+aggressive background garbage collector relocates valid data into the
+pool's pending MSB pages so the blocks "return to fast" for the next
+burst.  Like parityFTL it pre-backups one parity page per two LSB
+writes, since it also operates under FPS with sudden power-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.cursor import FpsCursor
+from repro.nand.array import NandArray
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType
+from repro.sim.queues import WriteBuffer
+
+
+class RtfFtl(BaseFtl):
+    """FPS FTL with multiple active blocks and return-to-fast bg GC."""
+
+    name = "rtfFTL"
+    uses_backup = True
+
+    #: LSB host writes protected by one parity page (FPS ceiling: 2).
+    lsb_pages_per_parity = 2
+
+    def __init__(self, array: NandArray, write_buffer: WriteBuffer,
+                 config: Optional[FtlConfig] = None,
+                 active_blocks: int = 8) -> None:
+        if active_blocks < 1:
+            raise ValueError("active_blocks must be at least 1")
+        super().__init__(array, write_buffer, config)
+        self.active_blocks = active_blocks
+        self._pools: List[List[FpsCursor]] = \
+            [[] for _ in self.geometry.iter_chip_ids()]
+        self._unprotected_lsb: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def _refill_pool(self, chip_id: int, for_gc: bool) -> None:
+        pool = self._pools[chip_id]
+        while len(pool) < self.active_blocks:
+            block = self._take_free_block(chip_id, for_gc=for_gc)
+            if block is None:
+                return
+            pool.append(FpsCursor(block, self.wordlines))
+
+    def _allocate(self, chip_id: int, prefer: PageType, for_gc: bool
+                  ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        pool = self._pools[chip_id]
+        if not for_gc or not pool:
+            # Host writes keep the pool at full strength; GC targets
+            # reuse the existing pool (only bootstrapping when empty)
+            # so relocations do not drain the free blocks they reclaim.
+            self._refill_pool(chip_id, for_gc)
+        if not pool:
+            return None
+        cursor = next((c for c in pool if c.peek_type() is prefer), pool[0])
+        wordline, ptype = cursor.take()
+        addr = self._page_address(chip_id, cursor.block, wordline, ptype)
+        if cursor.done:
+            pool.remove(cursor)
+            self._mark_block_full(chip_id, cursor.block)
+        return addr, ptype
+
+    def _allocate_host_page(
+        self, chip_id: int, now: float
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        return self._allocate(chip_id, prefer=PageType.LSB, for_gc=False)
+
+    def _allocate_gc_page(
+        self, chip_id: int
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        # Return-to-fast: relocations soak up the pool's MSB pages.
+        # While free blocks are plentiful the collector *waits* for MSB
+        # slots rather than burning LSB pages (which would re-arm the
+        # return-to-fast trigger and churn forever); once space is
+        # genuinely low it relocates into whatever page comes next.
+        state = self.chips[chip_id]
+        space_is_low = len(state.free_blocks) < self.gc_threshold_blocks
+        if not space_is_low and not self._pool_has_pending_msb(chip_id):
+            return None
+        return self._allocate(chip_id, prefer=PageType.MSB, for_gc=True)
+
+    # ------------------------------------------------------------------
+    # parity pre-backup (same policy as parityFTL)
+
+    def _after_host_program(self, chip_id: int,
+                            addr: PhysicalPageAddress,
+                            ptype: PageType, now: float) -> None:
+        if ptype is not PageType.LSB:
+            return
+        gb = self.mapping.global_block_of(chip_id, addr.block)
+        count = self._unprotected_lsb.get(gb, 0) + 1
+        if count >= self.lsb_pages_per_parity:
+            self._enqueue_parity_backup(chip_id, owner=gb)
+            count = 0
+        self._unprotected_lsb[gb] = count
+
+    def _on_block_full(self, chip_id: int, block: int) -> None:
+        gb = self.mapping.global_block_of(chip_id, block)
+        self._unprotected_lsb.pop(gb, None)
+        backup = self.chips[chip_id].backup
+        if backup is not None:
+            backup.invalidate(gb)
+
+    # ------------------------------------------------------------------
+    # aggressive idle-time return-to-fast collection
+
+    def _pool_has_pending_msb(self, chip_id: int) -> bool:
+        return any(c.peek_type() is PageType.MSB
+                   for c in self._pools[chip_id])
+
+    def wants_background_gc(self, chip_id: int) -> bool:
+        """Base condition plus the return-to-fast trigger."""
+        if super().wants_background_gc(chip_id):
+            return True
+        if not self.config.bg_gc_enabled:
+            return False
+        return (self._pool_has_pending_msb(chip_id)
+                and self._select_victim(
+                    chip_id, self._bg_min_invalid()) is not None)
+
+    def background_op(self, chip_id: int, now: float):
+        """Idle-time work, including return-to-fast collection."""
+        op = super().background_op(chip_id, now)
+        if op is not None:
+            return op
+        if not self.config.bg_gc_enabled:
+            return None
+        state = self.chips[chip_id]
+        if state.gc is not None:
+            return None
+        if not self._pool_has_pending_msb(chip_id):
+            return None
+        victim = self._select_victim(chip_id, self._bg_min_invalid())
+        if victim is None:
+            return None
+        self._begin_gc(chip_id, victim, background=True)
+        return self._gc_step(chip_id)

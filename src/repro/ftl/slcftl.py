@@ -1,0 +1,109 @@
+"""slcFTL: the LSB-only related-work baseline (Lee et al. [4]).
+
+Section 5 of the paper discusses a flash file system that services
+write requests using **only fast LSB pages**, reaching SLC-class peak
+performance — at the cost of "wasting half the capacity of the block"
+because every MSB page is skipped.  flexFTL's argument is that RPS
+delivers the same burst speed *without* the capacity loss.
+
+This FTL makes that trade-off measurable: every host and GC write
+lands on an LSB page, MSB pages are never programmed, and the logical
+space is therefore built over half the physical pages.  On equal
+footprints the halved capacity means structurally higher utilisation,
+more garbage collection and more erasures than flexFTL.
+
+(The original system predates RPS and relied on vendor SLC-mode
+commands; we host it on an RPS device, where an LSB-only order is
+legal — Constraints 1-3 never force an MSB program.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.cursor import PhaseCursor
+from repro.ftl.mapping import MappingTable
+from repro.nand.array import NandArray
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType
+from repro.nand.sequence import SequenceScheme
+from repro.sim.queues import WriteBuffer
+
+
+class SlcFtl(BaseFtl):
+    """LSB-only page-mapping FTL (SLC-mode usage of MLC blocks)."""
+
+    name = "slcFTL"
+    uses_backup = False  # no MSB programs => no destructive programs
+
+    def __init__(self, array: NandArray, write_buffer: WriteBuffer,
+                 config: Optional[FtlConfig] = None) -> None:
+        if array.scheme is SequenceScheme.FPS:
+            raise ValueError(
+                "LSB-only programming violates FPS Constraint 4; "
+                "slcFTL needs an RPS (or SLC-mode capable) device"
+            )
+        super().__init__(array, write_buffer, config)
+        # Half the pages exist as far as the host is concerned: the
+        # logical space is rebuilt over LSB pages only.
+        data_lsb_pages = (self.data_blocks_per_chip * self.wordlines
+                          * self.geometry.total_chips)
+        self.logical_pages = max(
+            1, int(data_lsb_pages * (1.0 - self.config.op_ratio))
+        )
+        self.mapping = MappingTable(self.geometry, self.logical_pages)
+        self._active: List[Optional[PhaseCursor]] = \
+            [None] * self.geometry.total_chips
+
+    # ------------------------------------------------------------------
+
+    def _allocate(self, chip_id: int, for_gc: bool
+                  ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        cursor = self._active[chip_id]
+        if cursor is None:
+            block = self._take_free_block(chip_id, for_gc=for_gc)
+            if block is None:
+                return None
+            cursor = PhaseCursor(block, self.wordlines, PageType.LSB)
+            self._active[chip_id] = cursor
+        wordline, ptype = cursor.take()
+        addr = self._page_address(chip_id, cursor.block, wordline, ptype)
+        if cursor.done:
+            # All LSB pages used; the MSB half is deliberately wasted.
+            self._active[chip_id] = None
+            self._mark_block_full(chip_id, cursor.block)
+        return addr, ptype
+
+    def _allocate_host_page(
+        self, chip_id: int, now: float
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        return self._allocate(chip_id, for_gc=False)
+
+    def _allocate_gc_page(
+        self, chip_id: int
+    ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
+        return self._allocate(chip_id, for_gc=True)
+
+    # ------------------------------------------------------------------
+    # accounting: a "full" SLC block holds only `wordlines` data pages,
+    # so the invalid count must be computed against that, not against
+    # pages_per_block — otherwise victim scores see 50% phantom
+    # invalidity everywhere.
+
+    def _select_victim(self, chip_id: int,
+                       min_invalid: int = 1) -> Optional[int]:
+        state = self.chips[chip_id]
+        best_block: Optional[int] = None
+        best_invalid = min_invalid - 1
+        for block in state.full_blocks:
+            gb = self.mapping.global_block_of(chip_id, block)
+            invalid = self.wordlines - self.mapping.valid_count(gb)
+            if invalid > best_invalid:
+                best_invalid = invalid
+                best_block = block
+        return best_block
+
+    def _bg_min_invalid(self) -> int:
+        return max(1, int(self.wordlines
+                          * self.config.bg_gc_min_invalid_fraction))

@@ -1,0 +1,44 @@
+"""Metric post-processing and report rendering.
+
+Turns raw :class:`~repro.experiments.runner.RunResult` objects into the
+paper's reported quantities: normalised IOPS (Figure 8(a)), normalised
+block erasure counts (Figure 8(b)), write-bandwidth CDFs (Figure 8(c)),
+write amplification and wear statistics, and plain-text tables.
+"""
+
+from repro.metrics.iops import normalize, speedup_matrix
+from repro.metrics.bandwidth import cdf_points, peak_ratio
+from repro.metrics.latency import latency_summary, percentile
+from repro.metrics.lifetime import erasure_summary, wear_spread
+from repro.metrics.plots import (
+    ascii_bars,
+    ascii_box_plot,
+    ascii_cdf,
+    ascii_grouped_bars,
+)
+from repro.metrics.report import render_grouped_bars, render_table
+from repro.metrics.utilization import (
+    chip_utilization,
+    render_utilization,
+    utilization_summary,
+)
+
+__all__ = [
+    "normalize",
+    "speedup_matrix",
+    "cdf_points",
+    "peak_ratio",
+    "latency_summary",
+    "percentile",
+    "erasure_summary",
+    "wear_spread",
+    "render_table",
+    "render_grouped_bars",
+    "ascii_box_plot",
+    "ascii_bars",
+    "ascii_grouped_bars",
+    "ascii_cdf",
+    "chip_utilization",
+    "utilization_summary",
+    "render_utilization",
+]

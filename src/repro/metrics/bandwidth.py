@@ -1,0 +1,45 @@
+"""Write-bandwidth CDF utilities (Figure 8(c))."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.sim.stats import WindowedBandwidth
+
+
+def cdf_points(tracker: WindowedBandwidth,
+               fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75,
+                                             0.9, 0.99, 1.0)
+               ) -> List[Tuple[float, float]]:
+    """Sample a bandwidth CDF at fixed fractions: ``(fraction, MB/s)``."""
+    samples = sorted(tracker.samples_mbps())
+    if not samples:
+        raise ValueError("no bandwidth samples recorded")
+    points: List[Tuple[float, float]] = []
+    for fraction in fractions:
+        index = min(len(samples) - 1, max(0, int(fraction * len(samples)) - 1))
+        points.append((fraction, samples[index]))
+    return points
+
+
+def peak_ratio(trackers: Mapping[str, WindowedBandwidth],
+               numerator: str, denominator: str,
+               fraction: float = 0.99) -> float:
+    """Ratio of two systems' peak (high-percentile) write bandwidth.
+
+    The paper's Figure 8(c) claim — flexFTL's peak write bandwidth is
+    ~2.13x rtfFTL's — is this number with flexFTL over rtfFTL.
+    """
+    num = trackers[numerator].percentile(fraction)
+    den = trackers[denominator].percentile(fraction)
+    if den == 0:
+        raise ValueError(f"{denominator!r} has zero bandwidth at the peak")
+    return num / den
+
+
+def mean_bandwidth(tracker: WindowedBandwidth) -> float:
+    """Mean of the active-window bandwidth samples in MB/s."""
+    samples = tracker.samples_mbps()
+    if not samples:
+        raise ValueError("no bandwidth samples recorded")
+    return sum(samples) / len(samples)

@@ -1,0 +1,39 @@
+"""IOPS normalisation and comparison helpers (Figure 8(a))."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def normalize(values: Mapping[str, float], baseline: str,
+              zero_floor: float = 0.0) -> Dict[str, float]:
+    """Normalise a metric mapping to one entry (the paper's pageFTL).
+
+    Raises ``KeyError`` when the baseline is missing.  A zero baseline
+    raises ``ValueError`` unless ``zero_floor`` is positive, in which
+    case the floor substitutes for the denominator (useful for count
+    metrics like erasures, which can legitimately be zero in short
+    runs).
+    """
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(values)}")
+    base = values[baseline]
+    if base == 0:
+        if zero_floor <= 0:
+            raise ValueError(f"baseline {baseline!r} value is zero")
+        base = zero_floor
+    return {name: value / base for name, value in values.items()}
+
+
+def speedup_matrix(values: Mapping[str, float]) -> Dict[str, Dict[str, float]]:
+    """Pairwise ratios ``matrix[a][b] = values[a] / values[b]``.
+
+    Used to express the paper's headline claims ("flexFTL outperforms
+    parityFTL by up to 56 %") directly from a result set.
+    """
+    matrix: Dict[str, Dict[str, float]] = {}
+    for a, va in values.items():
+        matrix[a] = {}
+        for b, vb in values.items():
+            matrix[a][b] = float("inf") if vb == 0 else va / vb
+    return matrix

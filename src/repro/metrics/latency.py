@@ -1,0 +1,51 @@
+"""Request-latency analysis.
+
+The paper reports IOPS and bandwidth; latency *distributions* add a
+complementary view this harness also exposes: under FPS an incoming
+read can stall up to a full 2000 us MSB program, while a flexFTL
+LSB-burst keeps the worst in-flight program at 500 us — a real (if
+unreported) RPS side effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample set."""
+    if not samples:
+        raise ValueError("no samples")
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / p99 / max of a latency sample set (seconds)."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+
+
+def summary_row(label: str, samples: Sequence[float],
+                unit: float = 1e-3) -> List[str]:
+    """One formatted report row (default unit: milliseconds)."""
+    summary = latency_summary(samples)
+    return [
+        label,
+        f"{summary['mean'] / unit:.3f}",
+        f"{summary['p50'] / unit:.3f}",
+        f"{summary['p95'] / unit:.3f}",
+        f"{summary['p99'] / unit:.3f}",
+        f"{summary['max'] / unit:.3f}",
+    ]

@@ -1,0 +1,43 @@
+"""Lifetime metrics: erasures, write amplification, wear spread."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Mapping
+
+from repro.nand.array import NandArray
+
+
+def erasure_summary(counters: Mapping[str, int]) -> Dict[str, float]:
+    """Lifetime-relevant summary of one run's operation counters."""
+    host = max(1, counters.get("host_programs", 0))
+    total_programs = (counters.get("host_programs", 0)
+                      + counters.get("gc_programs", 0)
+                      + counters.get("backup_programs", 0))
+    return {
+        "erases": float(counters.get("erases", 0)),
+        "write_amplification": total_programs / host,
+        "backup_overhead": counters.get("backup_programs", 0) / host,
+        "gc_overhead": counters.get("gc_programs", 0) / host,
+    }
+
+
+def wear_spread(array: NandArray) -> Dict[str, float]:
+    """Distribution of per-block erase counts across the device.
+
+    A large spread means uneven wear; the evaluated FTLs use no
+    explicit wear levelling, so this quantifies how much the block
+    allocation policies spread erasures on their own.
+    """
+    counts: List[int] = []
+    for chip in array.chips:
+        counts.extend(chip.erase_counts())
+    if not counts:
+        raise ValueError("array has no blocks")
+    mean = statistics.fmean(counts)
+    return {
+        "min": float(min(counts)),
+        "max": float(max(counts)),
+        "mean": mean,
+        "stdev": statistics.pstdev(counts),
+    }

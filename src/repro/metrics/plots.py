@@ -1,0 +1,111 @@
+"""ASCII plots for experiment reports.
+
+The benchmark harness is terminal-only; these renderers echo the
+paper's figure types — box plots for the Figure 4 distributions and
+grouped horizontal bars for Figures 8(a)/(b) — without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.reliability.montecarlo import BoxStats
+
+
+def ascii_box_plot(stats_by_label: Mapping[str, BoxStats],
+                   width: int = 60) -> str:
+    """Render box plots on a shared horizontal axis.
+
+    ``|`` marks min/max whiskers, ``[``/``]`` the quartiles and ``*``
+    the median — one row per label.
+    """
+    if not stats_by_label:
+        raise ValueError("nothing to plot")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    lo = min(s.minimum for s in stats_by_label.values())
+    hi = max(s.maximum for s in stats_by_label.values())
+    span = hi - lo or 1.0
+
+    def column(value: float) -> int:
+        return min(width - 1, max(0, int((value - lo) / span
+                                         * (width - 1))))
+
+    label_width = max(len(label) for label in stats_by_label)
+    lines = []
+    for label, stats in stats_by_label.items():
+        row = [" "] * width
+        for position in range(column(stats.minimum),
+                              column(stats.maximum) + 1):
+            row[position] = "-"
+        row[column(stats.minimum)] = "|"
+        row[column(stats.maximum)] = "|"
+        for position in range(column(stats.p25),
+                              column(stats.p75) + 1):
+            row[position] = "="
+        row[column(stats.p25)] = "["
+        row[column(stats.p75)] = "]"
+        row[column(stats.median)] = "*"
+        lines.append(f"{label:>{label_width}s}  " + "".join(row))
+    lines.append(f"{'':>{label_width}s}  "
+                 f"{lo:<{width // 2}.3g}{hi:>{width - width // 2}.3g}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Mapping[str, float], width: int = 50,
+               value_format: str = "{:.2f}") -> str:
+    """Render a horizontal bar chart (one row per label)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(
+            f"{label:>{label_width}s}  {bar} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def ascii_grouped_bars(data: Mapping[str, Mapping[str, float]],
+                       width: int = 40) -> str:
+    """Figure 8-style grouped bars: one block per group (workload)."""
+    blocks = []
+    for group, values in data.items():
+        blocks.append(group)
+        blocks.append(ascii_bars(values, width))
+        blocks.append("")
+    return "\n".join(blocks).rstrip()
+
+
+def ascii_cdf(points_by_label: Mapping[str, "list[Tuple[float, float]]"],
+              width: int = 60, height: int = 12) -> str:
+    """Plot CDF curves (fraction on Y, value on X) as a char grid."""
+    if not points_by_label:
+        raise ValueError("nothing to plot")
+    all_values = [value for points in points_by_label.values()
+                  for _, value in points]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefgh"
+    legend: Dict[str, str] = {}
+    for index, (label, points) in enumerate(points_by_label.items()):
+        marker = markers[index % len(markers)]
+        legend[label] = marker
+        for fraction, value in points:
+            x = min(width - 1, int((value - lo) / span * (width - 1)))
+            y = min(height - 1, int((1.0 - fraction) * (height - 1)))
+            grid[y][x] = marker
+    lines = ["1.0 |" + "".join(grid[0])]
+    lines += ["    |" + "".join(row) for row in grid[1:]]
+    lines += ["0.0 +" + "-" * width]
+    lines.append(f"     {lo:<{width // 2}.3g}{hi:>{width - width // 2}.3g}")
+    lines.append("     " + "  ".join(f"{m}={label}"
+                                     for label, m in legend.items()))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text tables for experiment output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+these helpers keep that rendering consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(value) for value in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_grouped_bars(data: Mapping[str, Mapping[str, float]],
+                        series: Sequence[str],
+                        value_format: str = "{:.2f}") -> str:
+    """Render a Figure 8(a)/(b)-style grouped table.
+
+    ``data`` maps group name (workload) to per-series values (FTLs);
+    an ``Average`` row is appended, matching the paper's figures.
+    """
+    groups = list(data)
+    headers = [""] + list(series)
+    rows: List[List[object]] = []
+    for group in groups:
+        rows.append([group] + [value_format.format(data[group].get(s, float("nan")))
+                               for s in series])
+    averages: Dict[str, float] = {}
+    for s in series:
+        values = [data[g][s] for g in groups if s in data[g]]
+        averages[s] = sum(values) / len(values) if values else float("nan")
+    rows.append(["Average"] + [value_format.format(averages[s])
+                               for s in series])
+    return render_table(headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

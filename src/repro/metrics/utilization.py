@@ -1,0 +1,40 @@
+"""Device-utilisation metrics: how busy each chip actually was.
+
+Chips accumulate ``busy_time`` as operations execute; dividing by the
+run's makespan gives the utilisation the dispatcher achieved.  Low,
+even utilisation under an intensive workload points at a host-side
+bottleneck; skew across chips points at striping problems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.report import render_table
+
+
+def chip_utilization(array, elapsed: float) -> List[float]:
+    """Per-chip busy fraction over ``elapsed`` seconds."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    return [chip.busy_time / elapsed for chip in array.chips]
+
+
+def utilization_summary(array, elapsed: float) -> Dict[str, float]:
+    """Min/mean/max chip utilisation of a run."""
+    fractions = chip_utilization(array, elapsed)
+    return {
+        "min": min(fractions),
+        "mean": sum(fractions) / len(fractions),
+        "max": max(fractions),
+    }
+
+
+def render_utilization(array, elapsed: float) -> str:
+    """Render the per-chip utilisation table."""
+    fractions = chip_utilization(array, elapsed)
+    rows = [[chip_id, f"{fraction * 100:.1f}%"]
+            for chip_id, fraction in enumerate(fractions)]
+    summary = utilization_summary(array, elapsed)
+    rows.append(["mean", f"{summary['mean'] * 100:.1f}%"])
+    return render_table(["chip", "busy"], rows)

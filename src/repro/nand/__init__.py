@@ -1,0 +1,51 @@
+"""MLC NAND flash device model.
+
+This subpackage models the NAND substrate the paper's FTLs run on: the
+device geometry (channels, chips, blocks, pages), the 2-bit MLC page
+structure (LSB/MSB pages sharing a word line), operation timing, the
+program-sequence constraint machinery (FPS vs RPS), the destructive
+nature of MSB programs, and sudden-power-off fault injection.
+"""
+
+from repro.nand.errors import (
+    EccUncorrectableError,
+    NandError,
+    PageStateError,
+    ProgramSequenceError,
+)
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+from repro.nand.page_types import (
+    PageType,
+    page_index,
+    paired_index,
+    split_index,
+)
+from repro.nand.sequence import SequenceScheme, constraint_violations
+from repro.nand.timing import NandTiming
+from repro.nand.block import Block, BlockState, PageState
+from repro.nand.chip import Chip
+from repro.nand.array import NandArray
+from repro.nand.power import PowerLossInjector, simulate_power_loss_during_msb
+
+__all__ = [
+    "NandError",
+    "ProgramSequenceError",
+    "PageStateError",
+    "EccUncorrectableError",
+    "NandGeometry",
+    "PhysicalPageAddress",
+    "PageType",
+    "page_index",
+    "paired_index",
+    "split_index",
+    "SequenceScheme",
+    "constraint_violations",
+    "NandTiming",
+    "PageState",
+    "BlockState",
+    "Block",
+    "Chip",
+    "NandArray",
+    "PowerLossInjector",
+    "simulate_power_loss_during_msb",
+]

@@ -1,0 +1,172 @@
+"""Erase-block state model.
+
+A :class:`Block` tracks the program state of each of its pages, an
+erase counter, the full in-block program history (needed both for
+sequence-constraint enforcement and for the cell-to-cell interference
+analysis of the reliability experiments), and optionally the page
+payloads themselves (used by parity-backup recovery tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.nand.errors import EccUncorrectableError, PageStateError
+from repro.nand.page_types import PageType, page_index, split_index
+
+
+class PageState(enum.Enum):
+    """Device-level state of a single page."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+    #: Data lost (e.g. paired LSB destroyed by an interrupted MSB program).
+    DESTROYED = "destroyed"
+
+
+class BlockState(enum.Enum):
+    """Coarse device-level block state derived from its pages."""
+
+    FREE = "free"
+    OPEN = "open"
+    FULL = "full"
+
+
+class Block:
+    """One NAND erase block.
+
+    Args:
+        block_id: index of the block within its chip.
+        wordlines: number of word lines (page pairs) in the block.
+        store_data: when True, page payloads are retained so they can be
+            read back (needed by recovery tests and examples); when
+            False only metadata is tracked, which keeps large
+            performance simulations cheap.
+    """
+
+    def __init__(self, block_id: int, wordlines: int,
+                 store_data: bool = False) -> None:
+        if wordlines <= 0:
+            raise ValueError(f"wordlines must be positive, got {wordlines}")
+        self.block_id = block_id
+        self.wordlines = wordlines
+        self.store_data = store_data
+        self.erase_count = 0
+        self._states: List[PageState] = [PageState.ERASED] * (2 * wordlines)
+        self._data: List[Optional[bytes]] = [None] * (2 * wordlines)
+        #: Page indices in the order they were programmed since last erase.
+        self.program_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def pages(self) -> int:
+        """Total pages in the block."""
+        return 2 * self.wordlines
+
+    def page_state(self, index: int) -> PageState:
+        """State of the page with canonical in-block index ``index``."""
+        return self._states[index]
+
+    def is_programmed(self, wordline: int, ptype: PageType) -> bool:
+        """Whether page ``(wordline, ptype)`` holds programmed data."""
+        return self._states[page_index(wordline, ptype)] is PageState.PROGRAMMED
+
+    def programmed_count(self, ptype: Optional[PageType] = None) -> int:
+        """Number of programmed (or destroyed) pages, optionally by type."""
+        count = 0
+        for index, state in enumerate(self._states):
+            if state is PageState.ERASED:
+                continue
+            if ptype is None or split_index(index)[1] is ptype:
+                count += 1
+        return count
+
+    def free_count(self, ptype: Optional[PageType] = None) -> int:
+        """Number of still-erased pages, optionally filtered by type."""
+        count = 0
+        for index, state in enumerate(self._states):
+            if state is not PageState.ERASED:
+                continue
+            if ptype is None or split_index(index)[1] is ptype:
+                count += 1
+        return count
+
+    @property
+    def state(self) -> BlockState:
+        """Derived coarse block state."""
+        used = sum(1 for s in self._states if s is not PageState.ERASED)
+        if used == 0:
+            return BlockState.FREE
+        if used == self.pages:
+            return BlockState.FULL
+        return BlockState.OPEN
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def program(self, wordline: int, ptype: PageType,
+                data: Optional[bytes] = None) -> None:
+        """Record a page program.
+
+        Sequence-scheme legality is the chip's responsibility (see
+        :meth:`repro.nand.chip.Chip.program`); the block only rejects
+        double programming without an intervening erase.
+        """
+        index = page_index(wordline, ptype)
+        if index >= self.pages:
+            raise ValueError(
+                f"wordline {wordline} out of range [0, {self.wordlines})"
+            )
+        if self._states[index] is not PageState.ERASED:
+            raise PageStateError(
+                f"block {self.block_id} page {index} is "
+                f"{self._states[index].value}; program requires an erase"
+            )
+        self._states[index] = PageState.PROGRAMMED
+        if self.store_data:
+            self._data[index] = data
+        self.program_history.append(index)
+
+    def read(self, wordline: int, ptype: PageType) -> Optional[bytes]:
+        """Read a page back.
+
+        Returns the stored payload (or None when the block does not
+        retain data).  Reading an erased or destroyed page raises
+        :class:`EccUncorrectableError`, mirroring how a real controller
+        observes a lost page.
+        """
+        index = page_index(wordline, ptype)
+        state = self._states[index]
+        if state is not PageState.PROGRAMMED:
+            raise EccUncorrectableError(
+                f"block {self.block_id} page {index} is {state.value}"
+            )
+        return self._data[index] if self.store_data else None
+
+    def erase(self) -> None:
+        """Erase the block, resetting all page state and the history."""
+        self._states = [PageState.ERASED] * self.pages
+        self._data = [None] * self.pages
+        self.program_history = []
+        self.erase_count += 1
+
+    def destroy_page(self, wordline: int, ptype: PageType) -> None:
+        """Mark a programmed page's data as lost (power-loss modelling)."""
+        index = page_index(wordline, ptype)
+        if self._states[index] is not PageState.PROGRAMMED:
+            raise PageStateError(
+                f"cannot destroy page {index}: state is "
+                f"{self._states[index].value}"
+            )
+        self._states[index] = PageState.DESTROYED
+        self._data[index] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(id={self.block_id}, state={self.state.value}, "
+            f"programmed={self.programmed_count()}/{self.pages}, "
+            f"erases={self.erase_count})"
+        )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the NAND device model."""
+
+
+class NandError(Exception):
+    """Base class for all NAND device model errors."""
+
+
+class ProgramSequenceError(NandError):
+    """A page program violated the active program-sequence scheme.
+
+    Raised by :class:`repro.nand.chip.Chip` when a program operation
+    would break one of the ordering constraints (Constraints 1-4 of the
+    paper for FPS, Constraints 1-3 for RPS).
+    """
+
+
+class PageStateError(NandError):
+    """An operation was issued against a page in an incompatible state.
+
+    Examples: programming an already-programmed page without an erase,
+    or erasing a block while one of its pages is being programmed.
+    """
+
+
+class EccUncorrectableError(NandError):
+    """A page read returned more raw bit errors than ECC can correct.
+
+    In this model the error is raised when reading a page whose data was
+    destroyed (e.g. a paired LSB page lost to a sudden power-off during
+    the MSB program) or a page that was never programmed.
+    """
+
+
+class AddressError(NandError, IndexError):
+    """A physical address fell outside the device geometry."""

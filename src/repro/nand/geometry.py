@@ -1,0 +1,154 @@
+"""NAND device geometry and physical addressing.
+
+The paper's evaluation platform is a 16 GB slice of a BlueDBM board:
+8 channels, 4 chips per channel, 512 blocks per chip and 256 4-KB pages
+per block (i.e. 128 word lines of 2-bit MLC).  :data:`PAPER_GEOMETRY`
+captures those numbers; scaled-down geometries are used for fast tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, NamedTuple
+
+from repro.nand.errors import AddressError
+
+
+class PhysicalPageAddress(NamedTuple):
+    """Fully-qualified physical page address.
+
+    ``page`` is the canonical in-block page index (see
+    :func:`repro.nand.page_types.page_index`).
+    """
+
+    channel: int
+    chip: int
+    block: int
+    page: int
+
+
+@dataclasses.dataclass(frozen=True)
+class NandGeometry:
+    """Immutable description of a NAND storage device's shape.
+
+    Attributes:
+        channels: number of independent channels.
+        chips_per_channel: NAND dies attached to each channel.
+        blocks_per_chip: erase blocks per die.
+        pages_per_block: pages per block; must be even (LSB+MSB pairs).
+        page_size: page payload size in bytes.
+    """
+
+    channels: int = 8
+    chips_per_channel: int = 4
+    blocks_per_chip: int = 512
+    pages_per_block: int = 256
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "chips_per_channel", "blocks_per_chip",
+                     "pages_per_block", "page_size"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.pages_per_block % 2 != 0:
+            raise ValueError(
+                "pages_per_block must be even (LSB/MSB pairs), got "
+                f"{self.pages_per_block}"
+            )
+
+    @property
+    def wordlines_per_block(self) -> int:
+        """Word lines per block (half the page count for 2-bit MLC)."""
+        return self.pages_per_block // 2
+
+    @property
+    def total_chips(self) -> int:
+        """Total number of NAND dies in the device."""
+        return self.channels * self.chips_per_channel
+
+    @property
+    def pages_per_chip(self) -> int:
+        """Pages per die."""
+        return self.blocks_per_chip * self.pages_per_block
+
+    @property
+    def total_blocks(self) -> int:
+        """Total erase blocks in the device."""
+        return self.total_chips * self.blocks_per_chip
+
+    @property
+    def total_pages(self) -> int:
+        """Total pages in the device."""
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity in bytes."""
+        return self.total_pages * self.page_size
+
+    def chip_id(self, channel: int, chip: int) -> int:
+        """Flatten ``(channel, chip)`` into a global chip id."""
+        if not (0 <= channel < self.channels):
+            raise AddressError(f"channel {channel} out of range")
+        if not (0 <= chip < self.chips_per_channel):
+            raise AddressError(f"chip {chip} out of range")
+        return channel * self.chips_per_channel + chip
+
+    def chip_coords(self, chip_id: int) -> "tuple[int, int]":
+        """Inverse of :meth:`chip_id`: return ``(channel, chip)``."""
+        if not (0 <= chip_id < self.total_chips):
+            raise AddressError(f"chip id {chip_id} out of range")
+        return divmod(chip_id, self.chips_per_channel)
+
+    def ppn(self, addr: PhysicalPageAddress) -> int:
+        """Encode a physical page address as a flat physical page number."""
+        self.validate(addr)
+        cid = self.chip_id(addr.channel, addr.chip)
+        return (cid * self.blocks_per_chip + addr.block) \
+            * self.pages_per_block + addr.page
+
+    def address_of(self, ppn: int) -> PhysicalPageAddress:
+        """Decode a flat physical page number into an address."""
+        if not (0 <= ppn < self.total_pages):
+            raise AddressError(f"ppn {ppn} out of range")
+        page = ppn % self.pages_per_block
+        block_global = ppn // self.pages_per_block
+        block = block_global % self.blocks_per_chip
+        cid = block_global // self.blocks_per_chip
+        channel, chip = self.chip_coords(cid)
+        return PhysicalPageAddress(channel, chip, block, page)
+
+    def validate(self, addr: PhysicalPageAddress) -> None:
+        """Raise :class:`AddressError` if ``addr`` is outside the device."""
+        if not (0 <= addr.channel < self.channels):
+            raise AddressError(f"channel {addr.channel} out of range")
+        if not (0 <= addr.chip < self.chips_per_channel):
+            raise AddressError(f"chip {addr.chip} out of range")
+        if not (0 <= addr.block < self.blocks_per_chip):
+            raise AddressError(f"block {addr.block} out of range")
+        if not (0 <= addr.page < self.pages_per_block):
+            raise AddressError(f"page {addr.page} out of range")
+
+    def iter_chip_ids(self) -> Iterator[int]:
+        """Iterate over all global chip ids."""
+        return iter(range(self.total_chips))
+
+
+#: The 16 GB configuration used in the paper's evaluation (Section 4.1).
+PAPER_GEOMETRY = NandGeometry(
+    channels=8,
+    chips_per_channel=4,
+    blocks_per_chip=512,
+    pages_per_block=256,
+    page_size=4096,
+)
+
+#: A small geometry suitable for unit tests and quick examples.
+TINY_GEOMETRY = NandGeometry(
+    channels=2,
+    chips_per_channel=2,
+    blocks_per_chip=16,
+    pages_per_block=16,
+    page_size=512,
+)

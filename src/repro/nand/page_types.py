@@ -1,0 +1,55 @@
+"""MLC page types and page-index conventions.
+
+A 2-bit MLC word line (WL) stores two logical pages: the LSB page
+(programmed first, fast, forms two coarse Vth states) and the MSB page
+(programmed second, slow, splits the window into four states).  Within a
+block we identify a page either by the pair ``(wordline, PageType)`` or
+by a canonical flat *page index*::
+
+    index = 2 * wordline + (0 for LSB, 1 for MSB)
+
+The canonical index is an addressing convention only; it says nothing
+about program order.  Program order is governed by the sequence scheme
+(see :mod:`repro.core.rps`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class PageType(enum.IntEnum):
+    """The two logical page types of a 2-bit MLC word line."""
+
+    LSB = 0
+    MSB = 1
+
+    @property
+    def is_fast(self) -> bool:
+        """True for the fast (LSB) page type."""
+        return self is PageType.LSB
+
+    def paired(self) -> "PageType":
+        """Return the other page type sharing the same word line."""
+        return PageType.MSB if self is PageType.LSB else PageType.LSB
+
+
+def page_index(wordline: int, ptype: PageType) -> int:
+    """Canonical flat index of page ``(wordline, ptype)`` within a block."""
+    if wordline < 0:
+        raise ValueError(f"wordline must be non-negative, got {wordline}")
+    return 2 * wordline + int(ptype)
+
+
+def split_index(index: int) -> Tuple[int, PageType]:
+    """Inverse of :func:`page_index`: return ``(wordline, ptype)``."""
+    if index < 0:
+        raise ValueError(f"page index must be non-negative, got {index}")
+    return index // 2, PageType(index % 2)
+
+
+def paired_index(index: int) -> int:
+    """Canonical index of the page sharing the word line with ``index``."""
+    wordline, ptype = split_index(index)
+    return page_index(wordline, ptype.paired())

@@ -1,0 +1,124 @@
+"""Sudden power-off (SPO) fault injection.
+
+An MSB-page program is destructive: while the controller rearranges the
+LSB-programmed Vth states into the four final states, the stored LSB
+data is temporarily unrecoverable.  A power loss in that window loses
+the paired LSB page (Section 1 of the paper).  This module models that
+failure so the per-block parity backup and recovery procedures of
+flexFTL (Section 3.3) can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+from repro.nand.array import NandArray
+from repro.nand.block import PageState
+from repro.nand.errors import PageStateError
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType, page_index, split_index
+
+
+def simulate_power_loss_during_msb(
+    array: NandArray, addr: PhysicalPageAddress
+) -> PhysicalPageAddress:
+    """Model a power loss while the MSB page at ``addr`` was programming.
+
+    The MSB page itself stays unprogrammed (its data never committed),
+    and the paired LSB page of the same word line — which must already
+    be programmed per Constraint 3's world — has its data destroyed.
+
+    Returns:
+        The physical address of the destroyed LSB page.
+
+    Raises:
+        PageStateError: ``addr`` is not an MSB page, the MSB page was
+            already programmed (no in-flight program to interrupt), or
+            the paired LSB page holds no data to destroy.
+    """
+    wordline, ptype = split_index(addr.page)
+    if ptype is not PageType.MSB:
+        raise PageStateError(
+            f"power loss during MSB program requires an MSB page, got "
+            f"page {addr.page} (LSB)"
+        )
+    chip = array.chip_at(addr)
+    block = chip.blocks[addr.block]
+    if block.page_state(addr.page) is not PageState.ERASED:
+        raise PageStateError(
+            f"MSB page {addr.page} already committed; nothing in flight"
+        )
+    if not block.is_programmed(wordline, PageType.LSB):
+        raise PageStateError(
+            f"paired LSB of wordline {wordline} is not programmed"
+        )
+    block.destroy_page(wordline, PageType.LSB)
+    return PhysicalPageAddress(
+        addr.channel, addr.chip, addr.block, page_index(wordline, PageType.LSB)
+    )
+
+
+def apply_power_loss_to_in_flight(
+    array: NandArray, addr: PhysicalPageAddress
+) -> List[PhysicalPageAddress]:
+    """Power loss against a program the simulator already committed.
+
+    The discrete-event controller mutates device state when an
+    operation *issues* and models its latency afterwards, so a program
+    in flight at power-off time is already marked programmed.  This
+    helper applies the physical outcome on top of that convention: the
+    in-flight page's own data never became durable (destroyed), and if
+    it was an MSB program its paired LSB page is destroyed too.
+
+    Returns the addresses whose data was lost.
+    """
+    wordline, ptype = split_index(addr.page)
+    block = array.chip_at(addr).blocks[addr.block]
+    destroyed: List[PhysicalPageAddress] = []
+    if block.page_state(addr.page) is PageState.PROGRAMMED:
+        block.destroy_page(wordline, ptype)
+        destroyed.append(addr)
+    if ptype is PageType.MSB and block.is_programmed(wordline,
+                                                     PageType.LSB):
+        block.destroy_page(wordline, PageType.LSB)
+        destroyed.append(PhysicalPageAddress(
+            addr.channel, addr.chip, addr.block,
+            page_index(wordline, PageType.LSB),
+        ))
+    return destroyed
+
+
+@dataclasses.dataclass(frozen=True)
+class InFlightProgram:
+    """A program operation in progress at the moment of power loss."""
+
+    addr: PhysicalPageAddress
+    ptype: PageType
+
+
+class PowerLossInjector:
+    """Apply a sudden power-off to a set of in-flight program operations.
+
+    The discrete-event controller reports which program operations were
+    active when the power failed; the injector applies the device-level
+    consequences: an interrupted LSB program simply never commits, while
+    an interrupted MSB program additionally destroys its paired LSB
+    page.
+    """
+
+    def __init__(self, array: NandArray) -> None:
+        self.array = array
+        self.destroyed: List[PhysicalPageAddress] = []
+
+    def fire(self, in_flight: Iterable[InFlightProgram]
+             ) -> List[PhysicalPageAddress]:
+        """Apply the power loss; returns addresses of destroyed LSB pages."""
+        destroyed: List[PhysicalPageAddress] = []
+        for op in in_flight:
+            if op.ptype is PageType.MSB:
+                destroyed.append(
+                    simulate_power_loss_during_msb(self.array, op.addr)
+                )
+        self.destroyed.extend(destroyed)
+        return destroyed

@@ -1,0 +1,104 @@
+"""Program-sequence schemes and their ordering constraints.
+
+The paper formalises the conventional fixed program sequence (FPS) of
+Figure 2(b) as four constraints on the in-block program order, and
+defines the relaxed program sequence (RPS) as the scheme that keeps
+only the first three:
+
+* **Constraint 1** — before ``LSB(k)`` is written, ``LSB(k-1)`` must be
+  written (k >= 1).
+* **Constraint 2** — before ``MSB(k)`` is written, ``MSB(k-1)`` must be
+  written (k >= 1).
+* **Constraint 3** — before ``MSB(k)`` is written, ``LSB(k+1)`` must be
+  written (k >= 0, while word line k+1 exists).
+* **Constraint 4** (FPS only; the over-specification RPS removes) —
+  before ``LSB(k)`` is written, ``MSB(k-2)`` must be written (k >= 2).
+
+This module provides the incremental constraint check used by
+:class:`repro.nand.chip.Chip` at program time.  Whole-order validation
+and order generators live in :mod:`repro.core.rps`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List
+
+from repro.nand.page_types import PageType
+
+
+class SequenceScheme(enum.Enum):
+    """Which program-sequence constraint set a device enforces."""
+
+    #: Fixed program sequence: Constraints 1-4 (conventional MLC).
+    FPS = "fps"
+    #: Relaxed program sequence: Constraints 1-3 (the paper's proposal).
+    RPS = "rps"
+    #: No ordering constraints (used for worst-case interference studies).
+    NONE = "none"
+
+    @property
+    def constraints(self) -> "tuple[int, ...]":
+        """The constraint numbers this scheme enforces."""
+        if self is SequenceScheme.FPS:
+            return (1, 2, 3, 4)
+        if self is SequenceScheme.RPS:
+            return (1, 2, 3)
+        return ()
+
+
+def constraint_violations(
+    is_programmed: Callable[[int, PageType], bool],
+    wordlines: int,
+    wordline: int,
+    ptype: PageType,
+    scheme: SequenceScheme,
+) -> List[str]:
+    """Check whether programming ``(wordline, ptype)`` next is legal.
+
+    Args:
+        is_programmed: predicate reporting whether a page of the block
+            has already been programmed.
+        wordlines: number of word lines in the block.
+        wordline: target word line of the program operation.
+        ptype: target page type of the program operation.
+        scheme: the active program-sequence scheme.
+
+    Returns:
+        A list of human-readable violation descriptions; empty when the
+        program operation is permitted.  Because Constraints 1 and 2 are
+        inductive, checking only the immediately preceding word line is
+        sufficient when every earlier program also passed this check.
+    """
+    if not (0 <= wordline < wordlines):
+        raise ValueError(f"wordline {wordline} out of range [0, {wordlines})")
+    violations: List[str] = []
+    if scheme is SequenceScheme.NONE:
+        return violations
+    if ptype is PageType.MSB and not is_programmed(wordline, PageType.LSB):
+        # Physical pairing: an MSB program refines the Vth states the LSB
+        # program established, so the LSB page must exist first.  Implied
+        # by Constraints 1-3 everywhere except the last word line.
+        violations.append(
+            f"pairing: LSB({wordline}) must be programmed before "
+            f"MSB({wordline})"
+        )
+    if wordline >= 1 and not is_programmed(wordline - 1, ptype):
+        number = 1 if ptype is PageType.LSB else 2
+        violations.append(
+            f"constraint {number}: {ptype.name}({wordline - 1}) not yet "
+            f"programmed before {ptype.name}({wordline})"
+        )
+    if ptype is PageType.MSB and wordline + 1 < wordlines \
+            and not is_programmed(wordline + 1, PageType.LSB):
+        violations.append(
+            f"constraint 3: LSB({wordline + 1}) not yet programmed before "
+            f"MSB({wordline})"
+        )
+    if scheme is SequenceScheme.FPS and ptype is PageType.LSB \
+            and wordline >= 2 and not is_programmed(wordline - 2, PageType.MSB):
+        violations.append(
+            f"constraint 4: MSB({wordline - 2}) not yet programmed before "
+            f"LSB({wordline})"
+        )
+    return violations

@@ -1,0 +1,65 @@
+"""NAND operation timing parameters.
+
+Defaults follow the 2X-nm MLC numbers quoted in the paper: an LSB page
+programs in 500 us, an MSB page in 2000 us (a 4x asymmetry), a page read
+takes 40 us, and a block erase is in the millisecond range.  Channel
+transfer time assumes a 400 MB/s toggle-DDR interface moving one 4-KB
+page (~10 us).
+
+All times are expressed in **seconds** as floats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.nand.page_types import PageType
+
+
+@dataclasses.dataclass(frozen=True)
+class NandTiming:
+    """Operation latencies of one NAND die and its channel.
+
+    Attributes:
+        t_lsb_prog: LSB (fast) page program time.
+        t_msb_prog: MSB (slow) page program time.
+        t_read: page read (array-to-register) time.
+        t_erase: block erase time.
+        t_transfer: channel transfer time for one page of data.
+    """
+
+    t_lsb_prog: float = 500e-6
+    t_msb_prog: float = 2000e-6
+    t_read: float = 40e-6
+    t_erase: float = 5e-3
+    t_transfer: float = 10e-6
+
+    def __post_init__(self) -> None:
+        for name in ("t_lsb_prog", "t_msb_prog", "t_read", "t_erase",
+                     "t_transfer"):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    def program_time(self, ptype: PageType) -> float:
+        """Array program time for a page of the given type."""
+        if ptype is PageType.LSB:
+            return self.t_lsb_prog
+        return self.t_msb_prog
+
+    def effective_program_time(self, ptype: PageType) -> float:
+        """Program time including the channel transfer of the payload."""
+        return self.program_time(ptype) + self.t_transfer
+
+    def effective_read_time(self) -> float:
+        """Read time including the channel transfer of the payload."""
+        return self.t_read + self.t_transfer
+
+    @property
+    def asymmetry(self) -> float:
+        """MSB-to-LSB program-time ratio (4.0 for the paper's device)."""
+        return self.t_msb_prog / self.t_lsb_prog
+
+
+#: Timing of the paper's 2X-nm MLC device.
+PAPER_TIMING = NandTiming()

@@ -1,0 +1,287 @@
+"""TLC (3-bit) generalisation of the program-sequence machinery.
+
+The paper states (Section 1) that RPS "can be applicable for other
+NAND devices such as triple-level cell (TLC) NAND devices with a
+similar program scheme".  This module works that claim out: a TLC word
+line holds three pages — LSB (fast), CSB (centre) and MSB (slow) — and
+the representative staggered TLC program order
+
+    LSB(0), LSB(1), CSB(0), LSB(2), CSB(1), MSB(0),
+    LSB(3), CSB(2), MSB(1), ...
+
+generalises the Figure 2(b) interleave: once MSB(k) is written, only
+MSB(k+1) can still disturb word line k.  Formalised as constraints:
+
+* **type order** — pages of the same type are written in word-line
+  order (three constraints, one per type);
+* **pairing** — LSB(k) before CSB(k) before MSB(k);
+* **shielding** — before CSB(k), LSB(k+1) must be written; before
+  MSB(k), CSB(k+1) must be written (each program level shields the
+  neighbour one level below);
+* **over-specification** (the TLC analogue of Constraint 4, dropped by
+  RPS-TLC) — before LSB(k): CSB(k-2) and MSB(k-3); before CSB(k):
+  MSB(k-2).
+
+Exactly as in the MLC case, any RPS-TLC-legal order leaves at most one
+aggressor program (MSB(k+1)) after a word line's data is final — the
+over-specified constraints buy nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class TlcPageType(enum.IntEnum):
+    """The three logical page types of a 3-bit TLC word line."""
+
+    LSB = 0
+    CSB = 1
+    MSB = 2
+
+    @property
+    def is_fast(self) -> bool:
+        """True for the fast (LSB) page type."""
+        return self is TlcPageType.LSB
+
+
+#: Representative TLC program latencies (LSB/CSB/MSB), seconds.
+TLC_PROGRAM_TIMES = {
+    TlcPageType.LSB: 500e-6,
+    TlcPageType.CSB: 2000e-6,
+    TlcPageType.MSB: 5500e-6,
+}
+
+
+def tlc_page_index(wordline: int, ptype: TlcPageType) -> int:
+    """Canonical flat index of TLC page ``(wordline, ptype)``."""
+    if wordline < 0:
+        raise ValueError(f"wordline must be non-negative, got {wordline}")
+    return 3 * wordline + int(ptype)
+
+
+def tlc_split_index(index: int) -> Tuple[int, TlcPageType]:
+    """Inverse of :func:`tlc_page_index`."""
+    if index < 0:
+        raise ValueError(f"page index must be non-negative, got {index}")
+    return index // 3, TlcPageType(index % 3)
+
+
+class TlcScheme(enum.Enum):
+    """TLC program-sequence constraint sets."""
+
+    FPS = "fps"  # type order + pairing + shielding + over-specification
+    RPS = "rps"  # type order + pairing + shielding
+    NONE = "none"
+
+
+def tlc_constraint_violations(
+    is_programmed: Callable[[int, TlcPageType], bool],
+    wordlines: int,
+    wordline: int,
+    ptype: TlcPageType,
+    scheme: TlcScheme,
+) -> List[str]:
+    """Check whether programming ``(wordline, ptype)`` next is legal."""
+    if not (0 <= wordline < wordlines):
+        raise ValueError(f"wordline {wordline} out of range")
+    violations: List[str] = []
+    if scheme is TlcScheme.NONE:
+        return violations
+    # pairing: the lower pages of the same word line must exist
+    for lower in TlcPageType:
+        if lower < ptype and not is_programmed(wordline, lower):
+            violations.append(
+                f"pairing: {lower.name}({wordline}) before "
+                f"{ptype.name}({wordline})"
+            )
+    # type order
+    if wordline >= 1 and not is_programmed(wordline - 1, ptype):
+        violations.append(
+            f"type order: {ptype.name}({wordline - 1}) before "
+            f"{ptype.name}({wordline})"
+        )
+    # shielding
+    if ptype is TlcPageType.CSB and wordline + 1 < wordlines \
+            and not is_programmed(wordline + 1, TlcPageType.LSB):
+        violations.append(
+            f"shielding: LSB({wordline + 1}) before CSB({wordline})"
+        )
+    if ptype is TlcPageType.MSB and wordline + 1 < wordlines \
+            and not is_programmed(wordline + 1, TlcPageType.CSB):
+        violations.append(
+            f"shielding: CSB({wordline + 1}) before MSB({wordline})"
+        )
+    if scheme is not TlcScheme.FPS:
+        return violations
+    # over-specification (dropped by RPS-TLC)
+    if ptype is TlcPageType.LSB:
+        if wordline >= 2 and not is_programmed(wordline - 2,
+                                               TlcPageType.CSB):
+            violations.append(
+                f"over-spec: CSB({wordline - 2}) before LSB({wordline})"
+            )
+        if wordline >= 3 and not is_programmed(wordline - 3,
+                                               TlcPageType.MSB):
+            violations.append(
+                f"over-spec: MSB({wordline - 3}) before LSB({wordline})"
+            )
+    if ptype is TlcPageType.CSB and wordline >= 2 \
+            and not is_programmed(wordline - 2, TlcPageType.MSB):
+        violations.append(
+            f"over-spec: MSB({wordline - 2}) before CSB({wordline})"
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# order generators
+
+def fps_tlc_order(wordlines: int) -> List[int]:
+    """The representative staggered TLC order (three-deep interleave)."""
+    _check(wordlines)
+    order: List[int] = []
+    # Cycle c writes LSB(c), CSB(c-1), MSB(c-2) where those exist; two
+    # trailing cycles flush the remaining CSB/MSB pages.
+    for cycle in range(wordlines + 2):
+        if cycle < wordlines:
+            order.append(tlc_page_index(cycle, TlcPageType.LSB))
+        if 0 <= cycle - 1 < wordlines:
+            order.append(tlc_page_index(cycle - 1, TlcPageType.CSB))
+        if 0 <= cycle - 2 < wordlines:
+            order.append(tlc_page_index(cycle - 2, TlcPageType.MSB))
+    return order
+
+
+def rps_tlc_full_order(wordlines: int) -> List[int]:
+    """Three-phase order: all LSB, then all CSB, then all MSB pages.
+
+    The TLC analogue of the 2PO/RPSfull order: a block serves fast
+    LSB-only writes first, then progressively slower phases.
+    """
+    _check(wordlines)
+    order: List[int] = []
+    for ptype in TlcPageType:
+        order.extend(tlc_page_index(w, ptype) for w in range(wordlines))
+    return order
+
+
+def random_rps_tlc_order(wordlines: int,
+                         rng: Optional[random.Random] = None
+                         ) -> List[int]:
+    """A uniformly random stepwise-legal RPS-TLC order."""
+    _check(wordlines)
+    rng = rng or random.Random()
+    next_page = {ptype: 0 for ptype in TlcPageType}
+    order: List[int] = []
+    total = 3 * wordlines
+    while len(order) < total:
+        candidates: List[TlcPageType] = []
+        if next_page[TlcPageType.LSB] < wordlines:
+            candidates.append(TlcPageType.LSB)
+        csb = next_page[TlcPageType.CSB]
+        if csb < wordlines and next_page[TlcPageType.LSB] >= min(
+                wordlines, csb + 2):
+            candidates.append(TlcPageType.CSB)
+        msb = next_page[TlcPageType.MSB]
+        if msb < wordlines and next_page[TlcPageType.CSB] >= min(
+                wordlines, msb + 2):
+            candidates.append(TlcPageType.MSB)
+        choice = rng.choice(candidates)
+        order.append(tlc_page_index(next_page[choice], choice))
+        next_page[choice] += 1
+    return order
+
+
+def unconstrained_tlc_order(wordlines: int,
+                            rng: Optional[random.Random] = None
+                            ) -> List[int]:
+    """A random order with no constraints (worst-case interference)."""
+    _check(wordlines)
+    rng = rng or random.Random()
+    order = list(range(3 * wordlines))
+    rng.shuffle(order)
+    return order
+
+
+def validate_tlc_order(order: Sequence[int], wordlines: int,
+                       scheme: TlcScheme) -> List[str]:
+    """Replay an order against a TLC scheme; return all violations."""
+    _check(wordlines)
+    violations: List[str] = []
+    expected = 3 * wordlines
+    if len(order) != expected:
+        violations.append(
+            f"order has {len(order)} entries, expected {expected}"
+        )
+    programmed = set()
+    for position, index in enumerate(order):
+        if not (0 <= index < expected):
+            violations.append(
+                f"position {position}: page {index} out of range"
+            )
+            continue
+        if index in programmed:
+            violations.append(
+                f"position {position}: page {index} programmed twice"
+            )
+            continue
+        wordline, ptype = tlc_split_index(index)
+        violations.extend(
+            f"position {position}: {message}"
+            for message in tlc_constraint_violations(
+                lambda w, t: tlc_page_index(w, t) in programmed,
+                wordlines, wordline, ptype, scheme,
+            )
+        )
+        programmed.add(index)
+    return violations
+
+
+def is_valid_tlc_order(order: Sequence[int], wordlines: int,
+                       scheme: TlcScheme) -> bool:
+    """True when ``order`` is complete and legal under ``scheme``."""
+    return not validate_tlc_order(order, wordlines, scheme)
+
+
+# ----------------------------------------------------------------------
+# interference analysis
+
+def tlc_aggressor_counts(order: Sequence[int],
+                         wordlines: int) -> List[int]:
+    """Aggressor programs per word line after its MSB page is written.
+
+    The generalisation of the MLC analysis: word line k's data is
+    final once MSB(k) is programmed; every later program to WL(k-1) or
+    WL(k+1) — any of their three pages — is an aggressor.
+    """
+    positions = {index: pos for pos, index in enumerate(order)}
+    counts: List[int] = []
+    for victim in range(wordlines):
+        msb_pos = positions.get(tlc_page_index(victim, TlcPageType.MSB))
+        if msb_pos is None:
+            counts.append(0)
+            continue
+        count = 0
+        for neighbour in (victim - 1, victim + 1):
+            if not (0 <= neighbour < wordlines):
+                continue
+            for ptype in TlcPageType:
+                pos = positions.get(tlc_page_index(neighbour, ptype))
+                if pos is not None and pos > msb_pos:
+                    count += 1
+        counts.append(count)
+    return counts
+
+
+def tlc_max_aggressors(order: Sequence[int], wordlines: int) -> int:
+    """Worst per-word-line aggressor count of a TLC order."""
+    counts = tlc_aggressor_counts(order, wordlines)
+    return max(counts) if counts else 0
+
+
+def _check(wordlines: int) -> None:
+    if wordlines <= 0:
+        raise ValueError(f"wordlines must be positive, got {wordlines}")

@@ -1,0 +1,145 @@
+"""TLC device state model: blocks and chips enforcing TLC schemes.
+
+The MLC :class:`~repro.nand.block.Block`/:class:`~repro.nand.chip.Chip`
+pair hard-codes two pages per word line; this module provides the
+3-bit equivalents so the TLC generalisation of RPS can be exercised
+against an enforcing device, not just against order lists.  The model
+is deliberately scoped to what the extension needs — program/read/
+erase with constraint enforcement, history and accounting — and reuses
+the MLC exception types.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nand.errors import (
+    EccUncorrectableError,
+    PageStateError,
+    ProgramSequenceError,
+)
+from repro.nand.tlc import (
+    TLC_PROGRAM_TIMES,
+    TlcPageType,
+    TlcScheme,
+    tlc_constraint_violations,
+    tlc_page_index,
+)
+
+
+class TlcBlock:
+    """One TLC erase block (three pages per word line)."""
+
+    def __init__(self, block_id: int, wordlines: int,
+                 store_data: bool = False) -> None:
+        if wordlines <= 0:
+            raise ValueError(f"wordlines must be positive, got {wordlines}")
+        self.block_id = block_id
+        self.wordlines = wordlines
+        self.store_data = store_data
+        self.erase_count = 0
+        self._programmed: List[bool] = [False] * (3 * wordlines)
+        self._data: List[Optional[bytes]] = [None] * (3 * wordlines)
+        self.program_history: List[int] = []
+
+    @property
+    def pages(self) -> int:
+        """Total pages in the block (3 per word line)."""
+        return 3 * self.wordlines
+
+    def is_programmed(self, wordline: int, ptype: TlcPageType) -> bool:
+        """Whether page ``(wordline, ptype)`` holds data."""
+        return self._programmed[tlc_page_index(wordline, ptype)]
+
+    def programmed_count(self) -> int:
+        """Programmed pages since the last erase."""
+        return sum(self._programmed)
+
+    def program(self, wordline: int, ptype: TlcPageType,
+                data: Optional[bytes] = None) -> None:
+        """Record a page program (legality is the chip's concern)."""
+        index = tlc_page_index(wordline, ptype)
+        if index >= self.pages:
+            raise ValueError(f"wordline {wordline} out of range")
+        if self._programmed[index]:
+            raise PageStateError(
+                f"TLC block {self.block_id} page {index} already "
+                f"programmed"
+            )
+        self._programmed[index] = True
+        if self.store_data:
+            self._data[index] = data
+        self.program_history.append(index)
+
+    def read(self, wordline: int, ptype: TlcPageType) -> Optional[bytes]:
+        """Read a page back; unprogrammed pages raise ECC errors."""
+        index = tlc_page_index(wordline, ptype)
+        if not self._programmed[index]:
+            raise EccUncorrectableError(
+                f"TLC block {self.block_id} page {index} is erased"
+            )
+        return self._data[index] if self.store_data else None
+
+    def erase(self) -> None:
+        """Erase the block."""
+        self._programmed = [False] * self.pages
+        self._data = [None] * self.pages
+        self.program_history = []
+        self.erase_count += 1
+
+
+class TlcChip:
+    """One TLC die enforcing a TLC program-sequence scheme."""
+
+    def __init__(self, chip_id: int, blocks: int,
+                 wordlines_per_block: int,
+                 scheme: TlcScheme = TlcScheme.RPS,
+                 store_data: bool = False) -> None:
+        if blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {blocks}")
+        self.chip_id = chip_id
+        self.scheme = scheme
+        self.blocks: List[TlcBlock] = [
+            TlcBlock(i, wordlines_per_block, store_data=store_data)
+            for i in range(blocks)
+        ]
+        self.programs = {ptype: 0 for ptype in TlcPageType}
+        self.reads = 0
+        self.erases = 0
+        self.busy_time = 0.0
+
+    def program(self, block: int, wordline: int, ptype: TlcPageType,
+                data: Optional[bytes] = None) -> float:
+        """Program one page under the active scheme; returns latency."""
+        blk = self.blocks[block]
+        violations = tlc_constraint_violations(
+            blk.is_programmed, blk.wordlines, wordline, ptype,
+            self.scheme,
+        )
+        if violations:
+            raise ProgramSequenceError(
+                f"TLC chip {self.chip_id} block {block}: "
+                + "; ".join(violations)
+            )
+        blk.program(wordline, ptype, data)
+        self.programs[ptype] += 1
+        duration = TLC_PROGRAM_TIMES[ptype]
+        self.busy_time += duration
+        return duration
+
+    def read(self, block: int, wordline: int,
+             ptype: TlcPageType) -> Optional[bytes]:
+        """Read one page."""
+        data = self.blocks[block].read(wordline, ptype)
+        self.reads += 1
+        return data
+
+    def erase(self, block: int) -> None:
+        """Erase one block."""
+        self.blocks[block].erase()
+        self.erases += 1
+
+    @property
+    def total_programs(self) -> int:
+        """Total page programs since creation."""
+        return sum(self.programs.values())

@@ -1,0 +1,111 @@
+"""Bit-error-rate model under P/E cycling and retention stress.
+
+The paper measures BER at the device's worst-case operating condition:
+3K P/E cycles followed by one year of retention.  We model the two
+stress components the way the flash literature describes them:
+
+* **P/E cycling** damages the tunnel oxide; the damage widens every
+  state's distribution.  We model the extra noise std-dev as growing
+  linearly with cycle count.
+* **Retention** leaks stored charge; programmed states drift down
+  (left), by an amount that grows logarithmically with time and is
+  amplified by prior cycling damage.
+
+Combined with the interference right-shift from aggressor programs,
+these produce gray-coded bit errors at the read references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.reliability.vth import MlcVthModel, bit_errors, simulate_page_vth
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingCondition:
+    """A P/E-cycling + retention stress point.
+
+    Attributes:
+        pe_cycles: program/erase cycles endured before the measurement.
+        retention_hours: elapsed time since programming, in hours.
+    """
+
+    pe_cycles: int = 0
+    retention_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        if self.retention_hours < 0:
+            raise ValueError("retention_hours must be non-negative")
+
+
+#: The paper's worst-case condition: 3K P/E cycles and 1-year retention.
+WORST_CASE = OperatingCondition(pe_cycles=3000, retention_hours=24 * 365)
+
+
+@dataclasses.dataclass(frozen=True)
+class StressModel:
+    """Coefficients translating an operating condition into Vth stress.
+
+    Attributes:
+        cycling_sigma_per_kcycle: extra per-cell noise std-dev added per
+            1000 P/E cycles.
+        retention_shift_coeff: downward shift (volts) per decade of
+            retention hours at zero cycling damage.
+        retention_cycling_factor: how strongly cycling damage amplifies
+            retention loss (fraction per 1000 cycles).
+    """
+
+    cycling_sigma_per_kcycle: float = 0.025
+    retention_shift_coeff: float = 0.005
+    retention_cycling_factor: float = 0.65
+
+    def extra_sigma(self, condition: OperatingCondition) -> float:
+        """Additional Gaussian noise std-dev from cycling damage."""
+        return self.cycling_sigma_per_kcycle * condition.pe_cycles / 1000.0
+
+    def retention_shift(self, condition: OperatingCondition) -> float:
+        """Downward Vth shift of programmed states (negative volts)."""
+        if condition.retention_hours <= 0.0:
+            return 0.0
+        decades = np.log10(1.0 + condition.retention_hours)
+        amplification = 1.0 + self.retention_cycling_factor \
+            * condition.pe_cycles / 1000.0
+        return -self.retention_shift_coeff * decades * amplification
+
+
+def page_bit_error_rate(
+    aggressors: int,
+    condition: OperatingCondition = WORST_CASE,
+    model: Optional[MlcVthModel] = None,
+    stress: Optional[StressModel] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo raw BER of one word line.
+
+    Args:
+        aggressors: aggressor program count for the word line.
+        condition: cycling/retention stress point.
+        model: Vth model parameters.
+        stress: stress-translation coefficients.
+        rng: numpy random generator (seeded by the caller).
+
+    Returns:
+        Raw bit error rate (bit errors / stored bits) of the word line.
+    """
+    model = model or MlcVthModel()
+    stress = stress or StressModel()
+    sample = simulate_page_vth(
+        aggressors,
+        model=model,
+        rng=rng,
+        extra_shift=stress.retention_shift(condition),
+        extra_sigma=stress.extra_sigma(condition),
+    )
+    total_bits = 2 * model.cells_per_page
+    return bit_errors(sample) / total_bits

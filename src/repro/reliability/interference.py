@@ -1,0 +1,97 @@
+"""Aggressor-program analysis of in-block program orders.
+
+Cell-to-cell interference couples a programmed word line to program
+operations on its immediate neighbours.  Once word line *k*'s data is
+final (its MSB page programmed), every later program to WL(k-1) or
+WL(k+1) is an *aggressor* that shifts WL(k)'s threshold voltages to the
+right.  The paper's key device-level observation is that the FPS order
+admits exactly one aggressor per word line, and that any RPS-legal
+order admits no more — Constraint 4 buys nothing.
+
+These functions quantify that: given a program order (a sequence of
+canonical page indices), they report the aggressor operations each word
+line experiences after its MSB program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.nand.page_types import PageType, page_index, split_index
+
+
+def aggressor_events(
+    order: Sequence[int], wordlines: int
+) -> List[List[Tuple[int, PageType]]]:
+    """Aggressor program operations per word line.
+
+    Args:
+        order: full in-block program order (canonical page indices).
+        wordlines: number of word lines in the block.
+
+    Returns:
+        For each word line ``k``, the list of ``(wordline, ptype)``
+        program operations applied to WL(k-1) or WL(k+1) **after**
+        MSB(k) was programmed.  A word line whose MSB page never
+        appears in the order gets an empty list (its final state is
+        never formed, so the metric does not apply).
+    """
+    positions = {index: pos for pos, index in enumerate(order)}
+    events: List[List[Tuple[int, PageType]]] = [[] for _ in range(wordlines)]
+    for victim in range(wordlines):
+        msb_pos = positions.get(page_index(victim, PageType.MSB))
+        if msb_pos is None:
+            continue
+        for neighbour in (victim - 1, victim + 1):
+            if not (0 <= neighbour < wordlines):
+                continue
+            for ptype in (PageType.LSB, PageType.MSB):
+                pos = positions.get(page_index(neighbour, ptype))
+                if pos is not None and pos > msb_pos:
+                    events[victim].append((neighbour, ptype))
+    return events
+
+
+def aggressor_counts(order: Sequence[int], wordlines: int) -> List[int]:
+    """Number of aggressor program operations per word line.
+
+    For the FPS order and any RPS-legal order this is at most 1 (the
+    MSB program of the next word line); for unconstrained orders it can
+    reach 4 — the Figure 2(a) worst case.
+    """
+    return [len(ops) for ops in aggressor_events(order, wordlines)]
+
+
+def max_aggressors(order: Sequence[int], wordlines: int) -> int:
+    """The worst per-word-line aggressor count of an order."""
+    counts = aggressor_counts(order, wordlines)
+    return max(counts) if counts else 0
+
+
+def interference_exposure(
+    order: Sequence[int],
+    wordlines: int,
+    lsb_weight: float = 1.0,
+    msb_weight: float = 1.0,
+) -> List[float]:
+    """Weighted aggressor exposure per word line.
+
+    Allows LSB and MSB aggressor programs to contribute differently
+    (an MSB program moves less charge per step than the first LSB
+    program from the erased state); the paper's argument uses equal
+    weights, which is the default.
+    """
+    exposures: List[float] = []
+    for ops in aggressor_events(order, wordlines):
+        total = 0.0
+        for _, ptype in ops:
+            total += lsb_weight if ptype is PageType.LSB else msb_weight
+        exposures.append(total)
+    return exposures
+
+
+def victim_pages(order: Sequence[int], wordlines: int) -> List[int]:
+    """Word lines whose final state exists (MSB page programmed)."""
+    programmed = {split_index(i)[0] for i in order
+                  if split_index(i)[1] is PageType.MSB}
+    return sorted(programmed)

@@ -1,0 +1,155 @@
+"""Monte-Carlo threshold-voltage (Vth) model for 2-bit MLC pages.
+
+A programmed 2-bit MLC cell sits in one of four Vth states — the erased
+state ``11`` and three programmed states ``01``, ``00``, ``10`` (gray
+coded, Figure 1 of the paper).  This module simulates the Vth of every
+cell of a word line after programming, adds the right-shift caused by
+aggressor programs on neighbouring word lines, and reports the paper's
+reliability metric: the width ``WPi`` of each state's distribution and
+their total sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Gray coding of the four MLC states, LSB first: state index -> (LSB, MSB).
+GRAY_CODE: Tuple[Tuple[int, int], ...] = ((1, 1), (0, 1), (0, 0), (1, 0))
+
+
+@dataclasses.dataclass(frozen=True)
+class MlcVthModel:
+    """Parameters of the synthetic 2X-nm MLC Vth model.
+
+    Voltages are in arbitrary volt-like units; what matters for the
+    reproduction is the *relative* behaviour of FPS vs RPS orders, which
+    depends only on aggressor counts and coupling, not on absolute
+    calibration.
+
+    Attributes:
+        state_centers: nominal Vth centre of each of the 4 states.
+        read_refs: the three read reference voltages separating them.
+        sigma_erased: intrinsic std-dev of the erased state.
+        sigma_programmed: intrinsic std-dev of a programmed state
+            (tight, thanks to incremental-step-pulse programming).
+        coupling_ratio: fraction of an aggressor cell's Vth change that
+            couples onto the victim cell.
+        aggressor_shift_mean: mean Vth movement of one aggressor
+            program operation on the aggressor's own cells.
+        aggressor_shift_std: per-cell variation of that movement.
+        cells_per_page: Monte-Carlo population per page.
+        width_quantiles: lower/upper quantiles defining a state's width.
+    """
+
+    state_centers: Tuple[float, float, float, float] = (-2.8, 0.9, 1.9, 2.9)
+    read_refs: Tuple[float, float, float] = (-0.7, 1.4, 2.4)
+    sigma_erased: float = 0.32
+    sigma_programmed: float = 0.12
+    coupling_ratio: float = 0.10
+    aggressor_shift_mean: float = 1.0
+    aggressor_shift_std: float = 0.55
+    cells_per_page: int = 4096
+    width_quantiles: Tuple[float, float] = (0.005, 0.995)
+
+    def __post_init__(self) -> None:
+        if len(self.state_centers) != 4 or len(self.read_refs) != 3:
+            raise ValueError("MLC model needs 4 state centres and 3 refs")
+        if not (0.0 < self.coupling_ratio < 1.0):
+            raise ValueError("coupling_ratio must be in (0, 1)")
+        if self.cells_per_page <= 0:
+            raise ValueError("cells_per_page must be positive")
+
+
+@dataclasses.dataclass
+class PageVthSample:
+    """One simulated word line: per-cell Vth plus bookkeeping."""
+
+    states: np.ndarray  #: programmed state index per cell (0..3)
+    vth: np.ndarray  #: simulated Vth per cell
+    model: MlcVthModel
+
+    def state_widths(self) -> List[float]:
+        """``WPi`` of each state present on the word line."""
+        lo_q, hi_q = self.model.width_quantiles
+        widths: List[float] = []
+        for state in range(4):
+            mask = self.states == state
+            if not np.any(mask):
+                widths.append(0.0)
+                continue
+            values = self.vth[mask]
+            lo, hi = np.quantile(values, [lo_q, hi_q])
+            widths.append(float(hi - lo))
+        return widths
+
+    def total_width(self) -> float:
+        """The paper's Figure 4(a) metric: the sum of the WPi's."""
+        return float(sum(self.state_widths()))
+
+
+def simulate_page_vth(
+    aggressors: int,
+    model: Optional[MlcVthModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    extra_shift: float = 0.0,
+    extra_sigma: float = 0.0,
+) -> PageVthSample:
+    """Simulate the final Vth of one word line's cells.
+
+    Args:
+        aggressors: number of neighbour program operations applied
+            after this word line's MSB program (from
+            :func:`repro.reliability.interference.aggressor_counts`).
+        model: Vth model parameters.
+        rng: numpy random generator (seeded by the caller).
+        extra_shift: additional uniform Vth shift (e.g. retention loss,
+            negative) applied to programmed states.
+        extra_sigma: additional per-cell Gaussian noise std-dev (e.g.
+            P/E-cycling damage).
+
+    Returns:
+        A :class:`PageVthSample` with random data (uniform over the 4
+        states) and the resulting per-cell Vth.
+    """
+    model = model or MlcVthModel()
+    rng = rng or np.random.default_rng()
+    n = model.cells_per_page
+    states = rng.integers(0, 4, size=n)
+    centers = np.asarray(model.state_centers)[states]
+    sigma = np.where(states == 0, model.sigma_erased, model.sigma_programmed)
+    vth = centers + rng.normal(0.0, 1.0, size=n) * sigma
+    for _ in range(aggressors):
+        # Each aggressor program moves its own cells by a random amount;
+        # a fraction (the coupling ratio) of that movement appears as a
+        # positive shift on the victim's cells.
+        movement = np.clip(
+            rng.normal(model.aggressor_shift_mean, model.aggressor_shift_std,
+                       size=n),
+            0.0, None,
+        )
+        vth = vth + model.coupling_ratio * movement
+    if extra_sigma > 0.0:
+        vth = vth + rng.normal(0.0, extra_sigma, size=n)
+    if extra_shift != 0.0:
+        # Retention charge loss affects programmed states (stored charge
+        # leaks); the erased state barely moves.
+        vth = vth + np.where(states == 0, 0.0, extra_shift)
+    return PageVthSample(states=states, vth=vth, model=model)
+
+
+def read_states(sample: PageVthSample) -> np.ndarray:
+    """Read back each cell's state by comparing Vth to the read refs."""
+    refs = np.asarray(sample.model.read_refs)
+    return np.searchsorted(refs, sample.vth, side="left")
+
+
+def bit_errors(sample: PageVthSample) -> int:
+    """Gray-coded bit errors when reading the sampled word line."""
+    gray = np.asarray(GRAY_CODE)
+    observed = np.clip(read_states(sample), 0, 3)
+    stored_bits = gray[sample.states]
+    read_bits = gray[observed]
+    return int(np.sum(stored_bits != read_bits))

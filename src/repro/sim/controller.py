@@ -1,0 +1,209 @@
+"""Storage controller: ties host, FTL and NAND array to the clock.
+
+The controller owns per-chip busy state, per-channel transfer buses,
+the host write buffer and read queues.  Whenever a chip is idle it asks
+for work in priority order — queued host reads, then FTL work (buffer
+drains, foreground GC, parity writes), then, if the whole device is
+idle of host I/O, background garbage collection.
+
+Write requests complete on write-buffer admission (buffered-write
+semantics); read requests complete when their last page is read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.nand.array import NandArray
+from repro.sim.kernel import Simulator
+from repro.sim.ops import FlashOp, OpKind
+from repro.sim.queues import Request, RequestKind, WriteBuffer
+from repro.sim.stats import SimStats
+
+
+class StorageController:
+    """Dispatches FTL-produced flash operations onto timed chips."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        array: NandArray,
+        ftl,  # BaseFtl; untyped to avoid a circular import
+        write_buffer: WriteBuffer,
+        stats: Optional[SimStats] = None,
+    ) -> None:
+        self.sim = sim
+        self.array = array
+        self.geometry = array.geometry
+        self.timing = array.timing
+        self.ftl = ftl
+        self.write_buffer = write_buffer
+        self.stats = stats or SimStats(page_size=self.geometry.page_size)
+
+        chips = self.geometry.total_chips
+        self._busy: List[bool] = [False] * chips
+        self._channel_free: List[float] = [0.0] * self.geometry.channels
+        self._read_queues: List[Deque[Tuple[int, Request]]] = \
+            [deque() for _ in range(chips)]
+        self._admissions: Deque[Request] = deque()
+        self._pumping = False
+        #: op currently executing per chip (power-loss tooling inspects it)
+        self.in_flight: Dict[int, FlashOp] = {}
+
+    # ------------------------------------------------------------------
+    # host interface
+
+    def submit(self, request: Request) -> None:
+        """Accept one host request at the current simulation time."""
+        self.stats.note_arrival(request)
+        request.submitted_at = self.sim.now
+        if request.kind is RequestKind.READ:
+            self._submit_read(request)
+        else:
+            self._admissions.append(request)
+        self._pump()
+
+    @property
+    def pending_admissions(self) -> int:
+        """Write requests waiting for buffer space."""
+        return len(self._admissions)
+
+    def host_idle(self) -> bool:
+        """No outstanding host I/O anywhere in the device."""
+        if self._admissions or not self.write_buffer.is_empty:
+            return False
+        return all(not queue for queue in self._read_queues)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _submit_read(self, request: Request) -> None:
+        touched: List[int] = []
+        for offset in range(request.npages):
+            lpn = request.lpn + offset
+            if self.write_buffer.contains(lpn):
+                self.stats.buffer_read_hits += 1
+                request.pages_remaining -= 1
+                continue
+            ppn = self.ftl.lookup(lpn)
+            if ppn is None:
+                # Never-written page: served as zeroes, no NAND access.
+                request.pages_remaining -= 1
+                continue
+            chip_id = ppn // self.geometry.pages_per_chip
+            self._read_queues[chip_id].append((lpn, request))
+            touched.append(chip_id)
+        if request.pages_remaining == 0:
+            self._complete_request(request)
+
+    def _complete_request(self, request: Request) -> None:
+        self.stats.note_request_complete(request, self.sim.now)
+        if request.on_complete is not None:
+            request.on_complete(request, self.sim.now)
+
+    def _pump(self) -> None:
+        """Drive admissions and chip dispatch to a fixed point."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            progress = True
+            while progress:
+                progress = self._drain_admissions()
+                for chip_id in range(self.geometry.total_chips):
+                    if not self._busy[chip_id]:
+                        progress = self._dispatch(chip_id) or progress
+        finally:
+            self._pumping = False
+
+    def _drain_admissions(self) -> bool:
+        progress = False
+        while self._admissions and not self.write_buffer.is_full:
+            request = self._admissions[0]
+            while request.pages_remaining > 0 \
+                    and not self.write_buffer.is_full:
+                offset = request.npages - request.pages_remaining
+                self.write_buffer.push(request.lpn + offset, self.sim.now,
+                                       request)
+                request.pages_remaining -= 1
+                self.stats.note_host_page_write(self.sim.now)
+                progress = True
+            if request.pages_remaining > 0:
+                break
+            self._admissions.popleft()
+            self._complete_request(request)
+        return progress
+
+    def _next_read_op(self, chip_id: int
+                      ) -> Tuple[Optional[FlashOp], Optional[Request]]:
+        queue = self._read_queues[chip_id]
+        while queue:
+            lpn, request = queue.popleft()
+            ppn = self.ftl.lookup(lpn)
+            if ppn is None or self.write_buffer.contains(lpn) \
+                    or ppn // self.geometry.pages_per_chip != chip_id:
+                # Superseded or relocated since queueing: data is
+                # available elsewhere without touching this chip.
+                self._complete_read_page(request)
+                continue
+            addr = self.geometry.address_of(ppn)
+            if not self.array.is_programmed(addr):
+                # The mapping already points at a relocation target
+                # whose program is still in flight; the data sits in
+                # controller RAM, so the read is served from there.
+                self._complete_read_page(request)
+                continue
+            return (FlashOp(OpKind.READ, addr, tag="host", lpn=lpn),
+                    request)
+        return None, None
+
+    def _dispatch(self, chip_id: int) -> bool:
+        if self._busy[chip_id]:
+            return False
+        op, read_request = self._next_read_op(chip_id)
+        if op is None:
+            op = self.ftl.next_op(chip_id, self.sim.now)
+        if op is None and self.host_idle() \
+                and self.ftl.wants_background_gc(chip_id):
+            op = self.ftl.background_op(chip_id, self.sim.now)
+        if op is None:
+            return False
+        self._execute(chip_id, op, read_request)
+        return True
+
+    def _execute(self, chip_id: int, op: FlashOp,
+                 read_request: Optional[Request]) -> None:
+        now = self.sim.now
+        channel = chip_id // self.geometry.chips_per_channel
+        if op.kind is OpKind.ERASE:
+            latency = self.array.erase(op.addr.channel, op.addr.chip,
+                                       op.addr.block)
+            total = latency
+        else:
+            start = max(now, self._channel_free[channel])
+            self._channel_free[channel] = start + self.timing.t_transfer
+            if op.kind is OpKind.PROGRAM:
+                latency = self.array.program(op.addr, op.data)
+            else:
+                _, latency = self.array.read(op.addr)
+            total = (start - now) + self.timing.t_transfer + latency
+        self._busy[chip_id] = True
+        self.in_flight[chip_id] = op
+        self.sim.schedule(total, self._on_op_done, chip_id, op,
+                          read_request)
+
+    def _on_op_done(self, chip_id: int, op: FlashOp,
+                    read_request: Optional[Request]) -> None:
+        self._busy[chip_id] = False
+        self.in_flight.pop(chip_id, None)
+        if op.on_complete is not None:
+            op.on_complete(self.sim.now)
+        if read_request is not None:
+            self._complete_read_page(read_request)
+        self._pump()
+
+    def _complete_read_page(self, request: Request) -> None:
+        request.pages_remaining -= 1
+        if request.pages_remaining == 0:
+            self._complete_request(request)

@@ -1,0 +1,120 @@
+"""Minimal discrete-event simulation kernel.
+
+A single global event queue ordered by ``(time, priority, seq)``.
+Events carry a plain callback; cancellation is lazy (a flag checked at
+pop time), which keeps the heap operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.  Create via :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[..., None], args: "tuple[Any, ...]") -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) \
+            < (other.time, other.priority, other.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {self.fn.__name__}, {state})"
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of events."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule_at(self, time: float, fn: Callable[..., None],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``.
+
+        Scheduling in the past raises ``ValueError`` — that is always a
+        modelling bug, never a feature.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before now ({self.now})"
+            )
+        event = Event(time, priority, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` after a relative ``delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, fn, *args,
+                                priority=priority)
+
+    @property
+    def pending(self) -> int:
+        """Number of (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+    def halt(self) -> None:
+        """Drop every queued event (e.g. a sudden power-off).
+
+        The clock stays where it is; nothing scheduled before the halt
+        will fire.  New events may be scheduled afterwards (a reboot).
+        """
+        self._queue.clear()
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next live event; returns False when none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue empties, ``until`` is reached, or
+        ``max_events`` have been processed (a runaway-loop backstop)."""
+        count = 0
+        while True:
+            if max_events is not None and count >= max_events:
+                return
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            count += 1

@@ -1,0 +1,54 @@
+"""The flash-operation vocabulary FTLs hand to the controller.
+
+An FTL never touches the clock: it answers ``next_op(chip_id)`` with a
+:class:`FlashOp` describing one physical operation (program, read or
+erase), and the controller executes it against the NAND array, charges
+channel and chip time, and fires the op's completion callback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Optional
+
+from repro.nand.geometry import PhysicalPageAddress
+
+
+class OpKind(enum.Enum):
+    """Physical NAND operation type."""
+
+    PROGRAM = "program"
+    READ = "read"
+    ERASE = "erase"
+
+
+@dataclasses.dataclass
+class FlashOp:
+    """One physical NAND operation plus scheduling metadata.
+
+    Attributes:
+        kind: operation type.
+        addr: target page (for erase, any page address inside the
+            victim block; only the block field is used).
+        tag: provenance label used for accounting — ``"host"``,
+            ``"gc"``, ``"backup"`` or ``"meta"``.
+        lpn: logical page involved (host data ops only).
+        on_complete: called with the completion timestamp after the
+            operation's latency has elapsed.
+        data: optional payload for data-bearing runs.
+    """
+
+    kind: OpKind
+    addr: PhysicalPageAddress
+    tag: str = "host"
+    lpn: Optional[int] = None
+    on_complete: Optional[Callable[[float], None]] = None
+    data: Optional[bytes] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashOp({self.kind.value}, {tuple(self.addr)}, tag={self.tag}"
+            + (f", lpn={self.lpn}" if self.lpn is not None else "")
+            + ")"
+        )

@@ -1,0 +1,122 @@
+"""Sudden power-off during a live simulation run.
+
+:class:`ScheduledPowerLoss` arms a power-off event at an absolute
+simulation time.  When it fires, every program operation in flight on
+any chip suffers the device-level consequences (the op's own page is
+not durable; an interrupted MSB program additionally destroys its
+paired LSB page), and the event queue is halted — nothing scheduled
+before the cut executes.
+
+For flexFTL the interesting question afterwards is the Section 3.3
+guarantee: every destroyed LSB data page must still be covered by a
+*live* parity page in its chip's backup blocks, so the reboot recovery
+of :mod:`repro.core.parity_backup` can reconstruct it.
+:func:`verify_flexftl_protection` checks exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page_types import PageType, split_index
+from repro.nand.power import apply_power_loss_to_in_flight
+from repro.sim.controller import StorageController
+from repro.sim.kernel import Simulator
+from repro.sim.ops import OpKind
+
+
+@dataclasses.dataclass
+class PowerLossReport:
+    """What a fired power-off destroyed."""
+
+    time: float
+    interrupted_programs: List[PhysicalPageAddress]
+    destroyed_pages: List[PhysicalPageAddress]
+
+    @property
+    def destroyed_lsb_data_pages(self) -> List[PhysicalPageAddress]:
+        """All destroyed LSB pages (in-flight and collateral)."""
+        return [addr for addr in self.destroyed_pages
+                if split_index(addr.page)[1] is PageType.LSB]
+
+    @property
+    def collateral_lsb_pages(self) -> List[PhysicalPageAddress]:
+        """Previously-durable LSB pages destroyed by interrupted MSB
+        programs — the pages Section 3.3's parity backup must cover.
+
+        An LSB page that was *itself* the interrupted program held
+        data that never became durable (it died with the controller's
+        RAM write buffer); no backup scheme covers in-flight writes.
+        """
+        interrupted = set(self.interrupted_programs)
+        return [addr for addr in self.destroyed_lsb_data_pages
+                if addr not in interrupted]
+
+
+class ScheduledPowerLoss:
+    """Arms a power-off at ``at_time`` on a running simulation."""
+
+    def __init__(self, sim: Simulator, controller: StorageController,
+                 at_time: float) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.report: "PowerLossReport | None" = None
+        self._event = sim.schedule_at(at_time, self._fire, priority=-1)
+
+    @property
+    def fired(self) -> bool:
+        """Whether the power-off has happened."""
+        return self.report is not None
+
+    def cancel(self) -> None:
+        """Disarm the power-off (e.g. the run ended first)."""
+        self._event.cancel()
+
+    def _fire(self) -> None:
+        interrupted: List[PhysicalPageAddress] = []
+        destroyed: List[PhysicalPageAddress] = []
+        for op in self.controller.in_flight.values():
+            if op.kind is not OpKind.PROGRAM:
+                continue
+            interrupted.append(op.addr)
+            destroyed.extend(
+                apply_power_loss_to_in_flight(self.controller.array,
+                                              op.addr)
+            )
+        self.report = PowerLossReport(
+            time=self.sim.now,
+            interrupted_programs=interrupted,
+            destroyed_pages=destroyed,
+        )
+        self.sim.halt()
+
+
+def verify_flexftl_protection(ftl, report: PowerLossReport) -> List[str]:
+    # `ftl` is a FlexFtl; typed loosely because repro.sim must not
+    # import repro.core at module load time (circular import).
+    """Check the Section 3.3 guarantee after a power loss.
+
+    For every destroyed LSB *data* page, the owning block must have a
+    live parity page registered in its chip's backup manager (the
+    paired-page backup flexFTL relies on for recovery).  Destroyed
+    pages in reserved backup blocks are parity pages themselves; they
+    only protected in-flight state that was lost anyway, so they are
+    exempt.
+
+    Returns a list of violation descriptions (empty = fully protected).
+    """
+    violations: List[str] = []
+    for addr in report.collateral_lsb_pages:
+        chip_id = ftl.geometry.chip_id(addr.channel, addr.chip)
+        if addr.block >= ftl.data_blocks_per_chip:
+            continue  # a backup block's own page
+        backup = ftl.chips[chip_id].backup
+        gb = ftl.mapping.global_block_of(chip_id, addr.block)
+        if backup is None or backup.slot_of(gb) is None:
+            violations.append(
+                f"destroyed LSB page {tuple(addr)} has no live parity "
+                f"page for block {gb}"
+            )
+    return violations

@@ -1,0 +1,173 @@
+"""Host requests and the controller's write buffer.
+
+The write buffer is central to the paper's adaptive page allocation:
+host writes complete on buffer admission, the FTL drains the buffer at
+its own pace, and the buffer *utilisation* ``u`` is the policy
+manager's first input (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+
+class RequestKind(enum.Enum):
+    """Host request type."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclasses.dataclass
+class Request:
+    """One host I/O request covering ``npages`` consecutive pages.
+
+    Attributes:
+        time: arrival timestamp (seconds).
+        kind: read or write.
+        lpn: first logical page number.
+        npages: request length in pages.
+    """
+
+    time: float
+    kind: RequestKind
+    lpn: int
+    npages: int = 1
+
+    # -- runtime bookkeeping (filled in by the host/controller) -------
+    pages_remaining: int = dataclasses.field(default=-1, repr=False)
+    submitted_at: float = dataclasses.field(default=0.0, repr=False)
+    completed_at: Optional[float] = dataclasses.field(default=None,
+                                                      repr=False)
+    #: called as ``on_complete(request, time)`` when the request
+    #: finishes (closed-loop hosts use this to issue their next op)
+    on_complete: Optional[Callable[["Request", float], None]] = \
+        dataclasses.field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.npages <= 0:
+            raise ValueError(f"npages must be positive, got {self.npages}")
+        if self.lpn < 0:
+            raise ValueError(f"lpn must be non-negative, got {self.lpn}")
+        if self.pages_remaining < 0:
+            self.pages_remaining = self.npages
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Completion latency, once the request has completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.time
+
+
+@dataclasses.dataclass
+class BufferedWrite:
+    """One page-sized write waiting in the write buffer."""
+
+    lpn: int
+    enqueued_at: float
+    request: Optional[Request] = None
+
+
+class WriteBuffer:
+    """Fixed-capacity FIFO of page-sized host writes.
+
+    Tracks which logical pages are currently resident so reads of
+    not-yet-flushed data can be served from the buffer, and exposes the
+    utilisation ``u`` the flexFTL policy manager samples.
+
+    With ``coalesce=True``, re-writing a page that is still buffered
+    supersedes the older copy (it is dropped on pop without reaching
+    flash), as a RAM write cache does.  Off by default: the paper's
+    evaluation drains the raw host stream, and coalescing would mask
+    part of every FTL's write load equally.
+    """
+
+    def __init__(self, capacity_pages: int,
+                 coalesce: bool = False) -> None:
+        if capacity_pages <= 0:
+            raise ValueError(
+                f"capacity_pages must be positive, got {capacity_pages}"
+            )
+        self.capacity = capacity_pages
+        self.coalesce = coalesce
+        self.coalesced_writes = 0
+        self._fifo: Deque[BufferedWrite] = deque()
+        self._resident: Dict[int, int] = {}
+        self._stale: Dict[int, int] = {}  # lpn -> stale copies to skip
+
+    def __len__(self) -> int:
+        return len(self._fifo) - sum(self._stale.values())
+
+    @property
+    def utilization(self) -> float:
+        """Occupied fraction ``u`` in [0, 1] (live pages only)."""
+        return len(self) / self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        """True when no further page can be admitted."""
+        return len(self) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing to drain."""
+        return len(self) == 0
+
+    def contains(self, lpn: int) -> bool:
+        """Whether a live write for ``lpn`` is buffered (read hit)."""
+        return lpn in self._resident
+
+    def push(self, lpn: int, now: float,
+             request: Optional[Request] = None) -> BufferedWrite:
+        """Admit one page write; raises when full (caller must check)."""
+        if self.is_full:
+            raise OverflowError("write buffer is full")
+        entry = BufferedWrite(lpn, now, request)
+        if self.coalesce and lpn in self._resident:
+            # The older buffered copy is superseded in place: it will
+            # be skipped on pop and never reaches flash.
+            self._stale[lpn] = self._stale.get(lpn, 0) + 1
+            self.coalesced_writes += 1
+        else:
+            self._resident[lpn] = self._resident.get(lpn, 0) + 1
+        self._fifo.append(entry)
+        return entry
+
+    def _drop_stale_head(self) -> None:
+        # Stale marks apply to the *oldest* copies of an lpn, and the
+        # fifo pops oldest-first, so a head entry with a stale mark is
+        # itself stale.
+        while self._fifo:
+            head = self._fifo[0]
+            stale = self._stale.get(head.lpn, 0)
+            if not stale:
+                return
+            self._fifo.popleft()
+            if stale == 1:
+                del self._stale[head.lpn]
+            else:
+                self._stale[head.lpn] = stale - 1
+
+    def pop(self) -> BufferedWrite:
+        """Remove and return the oldest *live* buffered write."""
+        self._drop_stale_head()
+        if not self._fifo:
+            raise IndexError("write buffer is empty")
+        entry = self._fifo.popleft()
+        remaining = self._resident[entry.lpn] - 1
+        if remaining:
+            self._resident[entry.lpn] = remaining
+        else:
+            del self._resident[entry.lpn]
+        return entry
+
+    def peek(self) -> BufferedWrite:
+        """Return the oldest live buffered write without removing it."""
+        self._drop_stale_head()
+        if not self._fifo:
+            raise IndexError("write buffer is empty")
+        return self._fifo[0]

@@ -1,0 +1,133 @@
+"""Metric collection for simulation runs.
+
+Gathers the quantities the paper's evaluation reports: IOPS (completed
+host requests over the run's makespan, Figure 8(a)), block erasure
+counts (Figure 8(b), read off the NAND array), and windowed write
+bandwidth samples whose CDF is Figure 8(c).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.queues import Request, RequestKind
+
+
+class WindowedBandwidth:
+    """Write bandwidth sampled over fixed time windows.
+
+    Every completed host page write deposits its bytes into the window
+    containing its completion time; :meth:`samples_mbps` then yields
+    one bandwidth sample per *active* window (idle windows are not
+    bandwidth observations — the paper's CDF starts at ~20 MB/s).
+    """
+
+    def __init__(self, window: float = 0.05) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, time: float, nbytes: int) -> None:
+        """Deposit ``nbytes`` transferred at ``time``."""
+        bucket = int(time / self.window)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + nbytes
+
+    def samples_mbps(self) -> List[float]:
+        """Per-active-window bandwidth samples in MB/s, time order."""
+        return [
+            self._buckets[bucket] / self.window / 1e6
+            for bucket in sorted(self._buckets)
+        ]
+
+    def cdf(self) -> Tuple[List[float], List[float]]:
+        """Empirical CDF: sorted bandwidth values and their fractions."""
+        samples = sorted(self.samples_mbps())
+        n = len(samples)
+        fractions = [(i + 1) / n for i in range(n)]
+        return samples, fractions
+
+    def percentile(self, fraction: float) -> float:
+        """Bandwidth at a CDF fraction (e.g. 0.99 for peak behaviour)."""
+        samples = sorted(self.samples_mbps())
+        if not samples:
+            raise ValueError("no bandwidth samples recorded")
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Aggregated outcome of one simulation run."""
+
+    page_size: int = 4096
+    bandwidth_window: float = 0.05
+
+    completed_reads: int = 0
+    completed_writes: int = 0
+    read_pages: int = 0
+    written_pages: int = 0
+    buffer_read_hits: int = 0
+    first_arrival: Optional[float] = None
+    last_completion: float = 0.0
+    read_latencies: List[float] = dataclasses.field(default_factory=list)
+    write_latencies: List[float] = dataclasses.field(default_factory=list)
+    write_bandwidth: WindowedBandwidth = dataclasses.field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth is None:
+            self.write_bandwidth = WindowedBandwidth(self.bandwidth_window)
+
+    # ------------------------------------------------------------------
+
+    def note_arrival(self, request: Request) -> None:
+        """Record a request arrival (tracks the run's start)."""
+        if self.first_arrival is None or request.time < self.first_arrival:
+            self.first_arrival = request.time
+
+    def note_host_page_write(self, time: float) -> None:
+        """Record one host page admitted/written at ``time``."""
+        self.written_pages += 1
+        self.write_bandwidth.record(time, self.page_size)
+
+    def note_request_complete(self, request: Request, time: float) -> None:
+        """Record a host request completion."""
+        request.completed_at = time
+        latency = time - request.time
+        if request.kind is RequestKind.READ:
+            self.completed_reads += 1
+            self.read_latencies.append(latency)
+        else:
+            self.completed_writes += 1
+            self.write_latencies.append(latency)
+        if time > self.last_completion:
+            self.last_completion = time
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed_requests(self) -> int:
+        """Total completed host requests."""
+        return self.completed_reads + self.completed_writes
+
+    @property
+    def elapsed(self) -> float:
+        """Makespan: first arrival to last completion."""
+        if self.first_arrival is None:
+            return 0.0
+        return max(0.0, self.last_completion - self.first_arrival)
+
+    def iops(self) -> float:
+        """Completed host requests per second over the makespan."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.completed_requests / self.elapsed
+
+    def mean_latency(self, kind: RequestKind) -> float:
+        """Mean request latency for one request kind."""
+        samples = (self.read_latencies if kind is RequestKind.READ
+                   else self.write_latencies)
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)

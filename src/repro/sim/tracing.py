@@ -1,0 +1,117 @@
+"""Operation-log tracing for simulation runs.
+
+Attach an :class:`OpLog` to a controller to record every NAND
+operation it executes — issue time, chip, kind, provenance tag and
+address.  Used by tests to assert scheduling behaviour directly
+(read priority, per-chip serialisation, GC step ordering) and by
+users to debug FTL policies.
+
+Usage::
+
+    log = OpLog.attach(controller)
+    ... run ...
+    programs = log.filter(kind=OpKind.PROGRAM, tag="host")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Optional
+
+from repro.sim.controller import StorageController
+from repro.sim.ops import FlashOp, OpKind
+
+
+@dataclasses.dataclass(frozen=True)
+class OpRecord:
+    """One executed NAND operation."""
+
+    time: float
+    chip_id: int
+    kind: OpKind
+    tag: str
+    channel: int
+    chip: int
+    block: int
+    page: int
+    lpn: Optional[int]
+
+
+class OpLog:
+    """An append-only log of executed operations.
+
+    Attach with :meth:`attach`; it wraps the controller's internal
+    ``_execute`` so every dispatched operation is recorded at its
+    issue time.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.records: List[OpRecord] = []
+        self.dropped = 0
+
+    @classmethod
+    def attach(cls, controller: StorageController,
+               capacity: Optional[int] = None) -> "OpLog":
+        """Create a log and hook it into ``controller``."""
+        log = cls(capacity)
+        original = controller._execute
+
+        def traced(chip_id: int, op: FlashOp, read_request) -> None:
+            log.record(controller.sim.now, chip_id, op)
+            original(chip_id, op, read_request)
+
+        controller._execute = traced  # type: ignore[method-assign]
+        return log
+
+    def record(self, time: float, chip_id: int, op: FlashOp) -> None:
+        """Append one operation (oldest entries drop at capacity)."""
+        if self.capacity is not None \
+                and len(self.records) >= self.capacity:
+            self.records.pop(0)
+            self.dropped += 1
+        self.records.append(OpRecord(
+            time=time,
+            chip_id=chip_id,
+            kind=op.kind,
+            tag=op.tag,
+            channel=op.addr.channel,
+            chip=op.addr.chip,
+            block=op.addr.block,
+            page=op.addr.page,
+            lpn=op.lpn,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[OpRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: Optional[OpKind] = None,
+               tag: Optional[str] = None,
+               chip_id: Optional[int] = None,
+               predicate: Optional[Callable[[OpRecord], bool]] = None
+               ) -> List[OpRecord]:
+        """Select records by kind/tag/chip and an optional predicate."""
+        out = []
+        for record in self.records:
+            if kind is not None and record.kind is not kind:
+                continue
+            if tag is not None and record.tag != tag:
+                continue
+            if chip_id is not None and record.chip_id != chip_id:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def counts_by_tag(self) -> "dict[str, int]":
+        """Histogram of operations by provenance tag."""
+        histogram: dict = {}
+        for record in self.records:
+            histogram[record.tag] = histogram.get(record.tag, 0) + 1
+        return histogram

@@ -1,0 +1,193 @@
+"""Emulators of the paper's five evaluation workloads (Table 1).
+
+Each profile matches Table 1's two published characteristics — the
+read:write ratio and the I/O-intensiveness class — and adds the
+structural parameters the paper describes in prose: OLTP and NTRX are
+intensive database loads "with little idle times between successive
+I/O requests"; Webserver is read-dominant "with large idle times";
+Varmail and Fileserver are "write-intensive workloads with a fair
+amount of idle times" (bursty, with inter-burst gaps that give the
+background garbage collector room to work).
+
+======================  =====  ==========  ================
+workload                R:W    intensity   structure
+======================  =====  ==========  ================
+OLTP (Sysbench)         7:3    very high   steady, think~0
+NTRX (Sysbench)         3:7    very high   steady, think~0
+Webserver (Filebench)   4:1    moderate    steady, long think
+Varmail (Filebench)     1:1    high        bursts + idle
+Fileserver (Filebench)  1:2    high        bursts + idle
+======================  =====  ==========  ================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.host import StreamOp
+from repro.workloads.synthetic import burst_stream, mixed_stream
+
+
+def format_rw_ratio(read_fraction: float) -> str:
+    """Render a read fraction as the closest small ``R:W`` ratio.
+
+    Both terms are kept single-digit, as Table 1 prints them (7:3,
+    1:2, ...), choosing the pair minimising the fraction error.
+    """
+    if read_fraction <= 0.0:
+        return "0:1"
+    if read_fraction >= 1.0:
+        return "1:0"
+    from math import gcd
+
+    best = (1, 1)
+    best_error = float("inf")
+    for reads in range(1, 10):
+        for writes in range(1, 10):
+            if gcd(reads, writes) != 1:
+                continue
+            error = abs(read_fraction - reads / (reads + writes))
+            if error < best_error:
+                best_error = error
+                best = (reads, writes)
+    return f"{best[0]}:{best[1]}"
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape of one emulated benchmark workload.
+
+    Attributes:
+        name: workload name as it appears in the paper.
+        read_fraction: fraction of operations that are reads.
+        intensiveness: Table 1 class (``"very high"``, ``"high"``,
+            ``"moderate"``).
+        streams: concurrent synchronous worker streams.
+        npages: request size in pages.
+        think: per-op think time for steady streams (seconds).
+        burst_len: ops per burst (0 means a steady stream).
+        burst_idle: idle gap between bursts (seconds).
+        zipf_s: address-skew exponent.
+        reads_recent: burst reads target the burst's own writes
+            (mail-server re-read pattern, absorbed by the buffer the
+            way a host page cache absorbs it).
+    """
+
+    name: str
+    read_fraction: float
+    intensiveness: str
+    streams: int
+    npages: int
+    think: float = 0.0
+    burst_len: int = 0
+    burst_idle: float = 0.0
+    zipf_s: float = 1.0
+    reads_recent: bool = False
+
+    @property
+    def read_write_ratio(self) -> str:
+        """The Table 1 style ``R:W`` label (e.g. ``7:3``, ``1:2``)."""
+        return format_rw_ratio(self.read_fraction)
+
+    @property
+    def is_bursty(self) -> bool:
+        """Whether the workload has burst/idle structure."""
+        return self.burst_len > 0
+
+
+#: The five Table 1 workloads.
+PROFILES: Dict[str, WorkloadProfile] = {
+    "OLTP": WorkloadProfile(
+        name="OLTP", read_fraction=0.7, intensiveness="very high",
+        streams=16, npages=4, think=0.0, zipf_s=1.1,
+    ),
+    "NTRX": WorkloadProfile(
+        name="NTRX", read_fraction=0.3, intensiveness="very high",
+        streams=16, npages=4, think=0.0, zipf_s=1.1,
+    ),
+    "Webserver": WorkloadProfile(
+        name="Webserver", read_fraction=0.8, intensiveness="moderate",
+        streams=8, npages=2, think=4e-3, zipf_s=0.9,
+    ),
+    "Varmail": WorkloadProfile(
+        name="Varmail", read_fraction=0.5, intensiveness="high",
+        streams=4, npages=1, burst_len=512, burst_idle=0.18, zipf_s=0.9,
+        reads_recent=True,
+    ),
+    "Fileserver": WorkloadProfile(
+        name="Fileserver", read_fraction=0.33, intensiveness="high",
+        streams=4, npages=4, burst_len=96, burst_idle=0.30, zipf_s=0.9,
+    ),
+}
+
+
+def build_workload(
+    name: str,
+    logical_pages: int,
+    total_ops: int,
+    seed: int = 0,
+    profile: Optional[WorkloadProfile] = None,
+) -> List[List[StreamOp]]:
+    """Generate the closed-loop streams of one benchmark workload.
+
+    Args:
+        name: a :data:`PROFILES` key (ignored when ``profile`` given).
+        logical_pages: the target device's logical page count.
+        total_ops: operations across all streams.
+        seed: RNG seed; generation is deterministic.
+        profile: explicit profile overriding the named one (used by
+            ablation sweeps).
+
+    Returns:
+        One list of :class:`~repro.sim.host.StreamOp` per worker
+        stream, ready for a
+        :class:`~repro.sim.host.ClosedLoopHost`.
+    """
+    if profile is None:
+        if name not in PROFILES:
+            raise KeyError(
+                f"unknown workload {name!r}; choose from {sorted(PROFILES)}"
+            )
+        profile = PROFILES[name]
+    if total_ops <= 0:
+        raise ValueError(f"total_ops must be positive, got {total_ops}")
+    ops_per_stream = max(1, total_ops // profile.streams)
+    streams: List[List[StreamOp]] = []
+    for stream_index in range(profile.streams):
+        rng = np.random.default_rng(seed * 7919 + stream_index)
+        if profile.is_bursty:
+            bursts = max(1, ops_per_stream // profile.burst_len)
+            stream = burst_stream(
+                logical_pages, bursts, profile.burst_len,
+                idle=profile.burst_idle,
+                read_fraction=profile.read_fraction,
+                npages=profile.npages, zipf_s=profile.zipf_s,
+                reads_follow_writes=profile.reads_recent, rng=rng,
+            )
+        else:
+            stream = mixed_stream(
+                logical_pages, ops_per_stream,
+                read_fraction=profile.read_fraction,
+                npages=profile.npages, think=profile.think,
+                zipf_s=profile.zipf_s, rng=rng,
+            )
+        streams.append(stream)
+    return streams
+
+
+def workload_table(profiles: Optional[Dict[str, WorkloadProfile]] = None
+                   ) -> str:
+    """Render Table 1: I/O characteristics of the five workloads."""
+    profiles = profiles or PROFILES
+    names = list(profiles)
+    header = f"{'':18s}" + "".join(f"{n:>12s}" for n in names)
+    ratio = f"{'Read:Write':18s}" + "".join(
+        f"{profiles[n].read_write_ratio:>12s}" for n in names
+    )
+    intensity = f"{'I/O intensiveness':18s}" + "".join(
+        f"{profiles[n].intensiveness:>12s}" for n in names
+    )
+    return "\n".join([header, ratio, intensity])

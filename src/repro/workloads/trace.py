@@ -1,0 +1,61 @@
+"""Plain-text trace files.
+
+A minimal, diff-friendly format for open-loop request traces::
+
+    # time op lpn npages
+    0.000000 W 1234 4
+    0.000125 R 88 1
+
+Useful for persisting generated workloads, replaying externally
+captured block traces, and writing regression tests against fixed
+inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.sim.queues import Request, RequestKind
+
+_OP_CODES = {RequestKind.READ: "R", RequestKind.WRITE: "W"}
+_OP_KINDS = {"R": RequestKind.READ, "W": RequestKind.WRITE}
+
+
+def save_trace(path: Union[str, Path],
+               requests: Sequence[Request]) -> None:
+    """Write a request trace to ``path``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# time op lpn npages\n")
+        for request in requests:
+            handle.write(
+                f"{request.time:.9f} {_OP_CODES[request.kind]} "
+                f"{request.lpn} {request.npages}\n"
+            )
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a request trace written by :func:`save_trace`."""
+    path = Path(path)
+    requests: List[Request] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 4 fields, got {len(fields)}"
+                )
+            time_str, op, lpn_str, npages_str = fields
+            if op not in _OP_KINDS:
+                raise ValueError(f"{path}:{lineno}: unknown op {op!r}")
+            requests.append(Request(
+                time=float(time_str),
+                kind=_OP_KINDS[op],
+                lpn=int(lpn_str),
+                npages=int(npages_str),
+            ))
+    return requests

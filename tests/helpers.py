@@ -1,0 +1,39 @@
+"""Shared system builders for the test suite."""
+
+from repro.core.flexftl import FlexFtl
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.ftl.parityftl import ParityFtl
+from repro.ftl.rtfftl import RtfFtl
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.nand.sequence import SequenceScheme
+from repro.nand.timing import NandTiming
+from repro.sim.controller import StorageController
+from repro.sim.kernel import Simulator
+from repro.sim.queues import WriteBuffer
+from repro.sim.stats import SimStats
+
+#: FTL class -> device sequence scheme it requires.
+FTL_SCHEMES = {
+    PageFtl: SequenceScheme.FPS,
+    ParityFtl: SequenceScheme.FPS,
+    RtfFtl: SequenceScheme.FPS,
+    FlexFtl: SequenceScheme.RPS,
+}
+
+
+def build_small_system(ftl_cls, geometry, buffer_pages=32,
+                       ftl_config=None, timing=None, **ftl_kwargs):
+    """Assemble a complete simulated system for tests.
+
+    Returns ``(sim, array, buffer, ftl, controller)``.
+    """
+    scheme = FTL_SCHEMES[ftl_cls]
+    sim = Simulator()
+    array = NandArray(geometry, timing or NandTiming(), scheme=scheme)
+    buffer = WriteBuffer(buffer_pages)
+    ftl = ftl_cls(array, buffer, ftl_config or FtlConfig(), **ftl_kwargs)
+    stats = SimStats(page_size=geometry.page_size)
+    controller = StorageController(sim, array, ftl, buffer, stats)
+    return sim, array, buffer, ftl, controller

@@ -1,0 +1,78 @@
+"""Property-based tests for the backup-block manager.
+
+Random allocate/invalidate sequences must preserve the manager's
+invariants: live slots always point at distinct pages of the blocks
+the manager owns, recycling erases exactly one block and relocates
+exactly the live parities that lived there, and the slot cursor never
+exceeds the block's slot budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.backup import BackupBlockManager
+
+WORDLINES = 4
+
+# At most 3 distinct owners: a block offers `WORDLINES` (4) slots, so
+# up to 3 live parities always leave room for a relocation + 1 new
+# slot.  (Overflowing the pool raises a documented RuntimeError,
+# covered separately below.)
+operations = st.lists(
+    st.tuples(st.sampled_from(["alloc", "drop"]),
+              st.integers(min_value=0, max_value=2)),
+    max_size=60,
+)
+
+
+class TestBackupManagerInvariants:
+    @given(ops=operations, blocks=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=80, deadline=None)
+    def test_live_slots_stay_unique_and_in_bounds(self, ops, blocks):
+        manager = BackupBlockManager(list(range(10, 10 + blocks)),
+                                     WORDLINES, order="lsb")
+        erases = 0
+        for action, owner in ops:
+            if action == "alloc":
+                slot, cycle = manager.allocate(owner)
+                if cycle is not None:
+                    erases += 1
+                    # relocations re-home only that block's live slots
+                    for _, new_slot in cycle.relocations:
+                        assert new_slot.block == cycle.erase_block
+            else:
+                manager.invalidate(owner)
+            # invariants after every step
+            live = [manager.slot_of(o) for o in range(6)
+                    if manager.slot_of(o) is not None]
+            positions = [(s.block, s.page) for s in live]
+            assert len(positions) == len(set(positions)), \
+                "two owners share a parity page"
+            for s in live:
+                assert s.block in manager.block_ids
+                assert 0 <= s.page < 2 * WORDLINES
+        assert manager.cycles == erases
+        assert manager.live_count <= 6
+
+    def test_pool_overflow_raises_clearly(self):
+        """Live parities filling a whole block exhaust the pool; the
+        manager must say so instead of corrupting state."""
+        import pytest
+
+        manager = BackupBlockManager([1], WORDLINES, order="lsb")
+        for owner in range(WORDLINES):
+            manager.allocate(owner)  # all slots live
+        with pytest.raises(RuntimeError, match="exhausted"):
+            manager.allocate("one too many")
+
+    @given(ops=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_single_owner_rolls_forever(self, ops):
+        """One owner re-allocating repeatedly (parityFTL's rolling
+        2-LSB parity) must always succeed and keep exactly one live
+        slot, no matter how many block recycles that takes."""
+        manager = BackupBlockManager([1, 2], WORDLINES, order="lsb")
+        for _ in range(ops):
+            slot, _ = manager.allocate("block-7")
+            assert manager.live_count == 1
+            assert manager.slot_of("block-7") == slot

@@ -1,0 +1,119 @@
+"""Tests for write coalescing and chip-utilisation metrics."""
+
+import pytest
+
+from repro.ftl.pageftl import PageFtl
+from repro.metrics.utilization import (
+    chip_utilization,
+    render_utilization,
+    utilization_summary,
+)
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind, WriteBuffer
+
+from tests.helpers import build_small_system
+
+
+class TestCoalescingBuffer:
+    def test_default_keeps_every_copy(self):
+        buffer = WriteBuffer(8)
+        buffer.push(5, 0.0)
+        buffer.push(5, 0.1)
+        assert len(buffer) == 2
+        assert buffer.pop().enqueued_at == 0.0
+        assert buffer.pop().enqueued_at == 0.1
+
+    def test_coalesce_supersedes_older_copy(self):
+        buffer = WriteBuffer(8, coalesce=True)
+        buffer.push(5, 0.0)
+        buffer.push(5, 0.1)
+        assert len(buffer) == 1
+        assert buffer.coalesced_writes == 1
+        entry = buffer.pop()
+        assert entry.enqueued_at == 0.1  # only the newest survives
+        assert buffer.is_empty
+
+    def test_coalesce_preserves_other_lpns(self):
+        buffer = WriteBuffer(8, coalesce=True)
+        buffer.push(1, 0.0)
+        buffer.push(2, 0.1)
+        buffer.push(1, 0.2)
+        assert len(buffer) == 2
+        assert buffer.pop().lpn == 2   # stale copy of 1 skipped
+        assert buffer.pop().lpn == 1
+        assert buffer.is_empty
+
+    def test_peek_skips_stale(self):
+        buffer = WriteBuffer(8, coalesce=True)
+        buffer.push(1, 0.0)
+        buffer.push(1, 0.1)
+        assert buffer.peek().enqueued_at == 0.1
+
+    def test_contains_after_coalesce(self):
+        buffer = WriteBuffer(8, coalesce=True)
+        buffer.push(9, 0.0)
+        buffer.push(9, 0.1)
+        assert buffer.contains(9)
+        buffer.pop()
+        assert not buffer.contains(9)
+
+    def test_capacity_counts_live_pages(self):
+        buffer = WriteBuffer(2, coalesce=True)
+        buffer.push(1, 0.0)
+        buffer.push(1, 0.1)   # supersedes, still 1 live
+        buffer.push(2, 0.2)
+        assert buffer.is_full
+        with pytest.raises(OverflowError):
+            buffer.push(3, 0.3)
+
+    def test_hot_workload_reaches_flash_less_with_coalescing(
+            self, small_geometry):
+        def programs(coalesce):
+            system = build_small_system(PageFtl, small_geometry,
+                                        buffer_pages=32)
+            sim, array, buffer, ftl, controller = system
+            buffer.coalesce = coalesce
+            ops = [StreamOp(RequestKind.WRITE, i % 4, 1)
+                   for i in range(200)]
+            host = ClosedLoopHost(sim, controller, [ops])
+            host.start()
+            sim.run()
+            return array.total_programs, buffer
+
+        plain, _ = programs(False)
+        fewer, buffer = programs(True)
+        assert fewer <= plain
+        assert buffer.coalesced_writes > 0
+
+
+class TestChipUtilization:
+    def test_busy_fractions(self, small_geometry):
+        system = build_small_system(PageFtl, small_geometry,
+                                    buffer_pages=32)
+        sim, array, buffer, ftl, controller = system
+        ops = [StreamOp(RequestKind.WRITE, i, 1) for i in range(100)]
+        host = ClosedLoopHost(sim, controller, [ops])
+        host.start()
+        sim.run()
+        fractions = chip_utilization(array, sim.now)
+        assert len(fractions) == small_geometry.total_chips
+        assert all(0.0 < f <= 1.0 for f in fractions)
+        summary = utilization_summary(array, sim.now)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_render(self, small_geometry):
+        system = build_small_system(PageFtl, small_geometry)
+        sim, array, *_ , controller = system
+        controller.submit(__import__("repro.sim.queues",
+                                     fromlist=["Request"]).Request(
+            0.0, RequestKind.WRITE, 0, 4))
+        sim.run()
+        text = render_utilization(array, max(sim.now, 1e-9))
+        assert "chip" in text
+        assert "mean" in text
+
+    def test_zero_elapsed_rejected(self, small_geometry):
+        system = build_small_system(PageFtl, small_geometry)
+        array = system[1]
+        with pytest.raises(ValueError):
+            chip_utilization(array, 0.0)

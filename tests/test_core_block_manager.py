@@ -1,0 +1,105 @@
+"""Tests for repro.core.block_manager: 2PO block life cycle."""
+
+import pytest
+
+from repro.core.block_manager import TwoPhaseBlockManager
+from repro.nand.page_types import PageType
+
+
+class TestFastPhase:
+    def test_fresh_manager_needs_fast_block(self):
+        manager = TwoPhaseBlockManager(wordlines=4)
+        assert manager.needs_fast_block
+        assert manager.take_lsb() is None
+        assert manager.free_lsb_pages == 0
+
+    def test_install_and_take(self):
+        manager = TwoPhaseBlockManager(wordlines=4)
+        manager.install_fast_block(7)
+        assert manager.active_fast_block == 7
+        taken = manager.take_lsb()
+        assert taken.block == 7
+        assert taken.wordline == 0
+        assert taken.ptype is PageType.LSB
+        assert not taken.phase_done
+
+    def test_double_install_rejected(self):
+        manager = TwoPhaseBlockManager(wordlines=4)
+        manager.install_fast_block(1)
+        with pytest.raises(RuntimeError):
+            manager.install_fast_block(2)
+
+    def test_last_lsb_moves_block_to_sbqueue(self):
+        manager = TwoPhaseBlockManager(wordlines=2)
+        manager.install_fast_block(3)
+        manager.take_lsb()
+        taken = manager.take_lsb()
+        assert taken.phase_done
+        assert manager.needs_fast_block
+        assert manager.sbqueue_length == 1
+        assert manager.active_slow_block == 3
+
+
+class TestSlowPhase:
+    def make_slow(self, manager, block):
+        manager.install_fast_block(block)
+        while True:
+            taken = manager.take_lsb()
+            if taken.phase_done:
+                return
+
+    def test_take_msb_from_queue_head(self):
+        manager = TwoPhaseBlockManager(wordlines=2)
+        self.make_slow(manager, 3)
+        self.make_slow(manager, 5)
+        taken = manager.take_msb()
+        assert taken.block == 3  # FIFO: oldest fast block first
+        assert taken.ptype is PageType.MSB
+
+    def test_full_block_leaves_queue(self):
+        manager = TwoPhaseBlockManager(wordlines=2)
+        self.make_slow(manager, 3)
+        manager.take_msb()
+        taken = manager.take_msb()
+        assert taken.phase_done
+        assert manager.sbqueue_length == 0
+        assert manager.take_msb() is None
+
+    def test_queue_is_fifo_across_blocks(self):
+        manager = TwoPhaseBlockManager(wordlines=1)
+        for block in (9, 4, 6):
+            self.make_slow(manager, block)
+        order = []
+        while True:
+            taken = manager.take_msb()
+            if taken is None:
+                break
+            order.append(taken.block)
+        assert order == [9, 4, 6]
+
+
+class TestCapacityViews:
+    def test_free_page_counts(self):
+        manager = TwoPhaseBlockManager(wordlines=4)
+        manager.install_fast_block(0)
+        assert manager.free_lsb_pages == 4
+        manager.take_lsb()
+        assert manager.free_lsb_pages == 3
+        assert manager.free_msb_pages == 0
+        for _ in range(3):
+            manager.take_lsb()
+        assert manager.free_lsb_pages == 0
+        assert manager.free_msb_pages == 4
+        manager.take_msb()
+        assert manager.free_msb_pages == 3
+
+    def test_has_slow_block(self):
+        manager = TwoPhaseBlockManager(wordlines=1)
+        assert not manager.has_slow_block
+        manager.install_fast_block(0)
+        manager.take_lsb()
+        assert manager.has_slow_block
+
+    def test_invalid_wordlines(self):
+        with pytest.raises(ValueError):
+            TwoPhaseBlockManager(wordlines=0)

@@ -1,0 +1,119 @@
+"""Tests for repro.core.page_allocator: policy manager and quota."""
+
+import pytest
+
+from repro.core.page_allocator import (
+    PolicyConfig,
+    PolicyManager,
+    QuotaTracker,
+)
+from repro.nand.page_types import PageType
+
+
+def quota(value, cap=None):
+    tracker = QuotaTracker(max(value, 0), cap)
+    tracker.value = value
+    return tracker
+
+
+class TestQuotaTracker:
+    def test_spend_and_earn(self):
+        tracker = QuotaTracker(2)
+        tracker.note_lsb_write()
+        assert tracker.value == 1
+        tracker.note_msb_write()
+        assert tracker.value == 2
+
+    def test_earn_saturates_at_cap(self):
+        tracker = QuotaTracker(2)
+        tracker.note_msb_write()
+        assert tracker.value == 2
+
+    def test_can_go_negative(self):
+        tracker = QuotaTracker(1)
+        tracker.note_lsb_write()
+        tracker.note_lsb_write()
+        assert tracker.value == -1
+        assert tracker.exhausted
+
+    def test_reset(self):
+        tracker = QuotaTracker(5)
+        for _ in range(8):
+            tracker.note_lsb_write()
+        tracker.reset()
+        assert tracker.value == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotaTracker(-1)
+        with pytest.raises(ValueError):
+            QuotaTracker(5, cap=3)
+
+
+class TestPolicyConfig:
+    def test_paper_defaults(self):
+        config = PolicyConfig()
+        assert config.u_high == pytest.approx(0.80)
+        assert config.u_low == pytest.approx(0.10)
+        assert config.quota_fraction == pytest.approx(0.05)
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(u_high=0.1, u_low=0.8)
+        with pytest.raises(ValueError):
+            PolicyConfig(quota_fraction=0.0)
+        with pytest.raises(ValueError):
+            PolicyConfig(quota_cap_factor=0.5)
+
+
+class TestPolicyDecisions:
+    def choose(self, manager, u, q, lsb=True, msb=True):
+        return manager.choose(u, quota(q), lsb, msb)
+
+    def test_high_u_with_quota_picks_lsb(self):
+        manager = PolicyManager()
+        for _ in range(5):
+            assert self.choose(manager, 0.9, 10) is PageType.LSB
+
+    def test_high_u_without_quota_alternates(self):
+        manager = PolicyManager()
+        choices = [self.choose(manager, 0.9, 0) for _ in range(4)]
+        assert choices == [PageType.LSB, PageType.MSB,
+                           PageType.LSB, PageType.MSB]
+
+    def test_low_u_picks_msb(self):
+        manager = PolicyManager()
+        assert self.choose(manager, 0.05, 10) is PageType.MSB
+
+    def test_mid_u_alternates(self):
+        manager = PolicyManager()
+        choices = [self.choose(manager, 0.5, 10) for _ in range(4)]
+        assert choices == [PageType.LSB, PageType.MSB,
+                           PageType.LSB, PageType.MSB]
+
+    def test_corner_case_no_slow_block_uses_lsb(self):
+        # Footnote 1: u < u_low but no slow block exists.
+        manager = PolicyManager()
+        assert self.choose(manager, 0.05, 10, lsb=True, msb=False) \
+            is PageType.LSB
+
+    def test_no_lsb_available_uses_msb(self):
+        manager = PolicyManager()
+        assert self.choose(manager, 0.9, 10, lsb=False, msb=True) \
+            is PageType.MSB
+
+    def test_nothing_available_returns_none(self):
+        manager = PolicyManager()
+        assert self.choose(manager, 0.9, 10, lsb=False, msb=False) is None
+
+    def test_decision_accounting(self):
+        manager = PolicyManager()
+        self.choose(manager, 0.9, 10)
+        self.choose(manager, 0.05, 10)
+        assert manager.decisions[PageType.LSB] == 1
+        assert manager.decisions[PageType.MSB] == 1
+
+    def test_custom_thresholds(self):
+        manager = PolicyManager(PolicyConfig(u_high=0.5, u_low=0.2))
+        assert self.choose(manager, 0.6, 5) is PageType.LSB
+        assert self.choose(manager, 0.1, 5) is PageType.MSB

@@ -1,0 +1,169 @@
+"""Tests for repro.core.parity_backup, including property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parity_backup import (
+    ParityAccumulator,
+    estimate_reboot_read_overhead,
+    recover_active_slow_block,
+    xor_pages,
+)
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+from repro.nand.page_types import PageType, page_index
+from repro.nand.power import simulate_power_loss_during_msb
+from repro.nand.sequence import SequenceScheme
+
+PAGE = 64
+
+
+def make_array(wordlines=4, blocks=2):
+    geometry = NandGeometry(channels=1, chips_per_channel=1,
+                            blocks_per_chip=blocks,
+                            pages_per_block=2 * wordlines,
+                            page_size=PAGE)
+    return NandArray(geometry, scheme=SequenceScheme.RPS, store_data=True)
+
+
+class TestParityAccumulator:
+    def test_xor_identity(self):
+        acc = ParityAccumulator(4)
+        acc.add(b"\x0f\x0f")
+        acc.add(b"\x0f\x0f")
+        assert acc.value() == b"\x00\x00\x00\x00"
+
+    def test_short_pages_zero_padded(self):
+        acc = ParityAccumulator(4)
+        acc.add(b"\xff")
+        assert acc.value() == b"\xff\x00\x00\x00"
+
+    def test_count_and_reset(self):
+        acc = ParityAccumulator(4)
+        acc.add(b"a")
+        acc.add(b"b")
+        assert acc.count == 2
+        acc.reset()
+        assert acc.count == 0
+        assert acc.value() == b"\x00" * 4
+
+    def test_oversized_payload_rejected(self):
+        acc = ParityAccumulator(2)
+        with pytest.raises(ValueError):
+            acc.add(b"abc")
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            ParityAccumulator(0)
+
+    @given(st.lists(st.binary(min_size=0, max_size=PAGE), min_size=1,
+                    max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_any_page_recoverable_from_parity_of_rest(self, pages):
+        """XOR parity recovers any single missing page."""
+        full = ParityAccumulator(PAGE)
+        for page in pages:
+            full.add(page)
+        parity = full.value()
+        missing_index = len(pages) // 2
+        partial = ParityAccumulator(PAGE)
+        for index, page in enumerate(pages):
+            if index != missing_index:
+                partial.add(page)
+        recovered = xor_pages(partial.value(), parity, PAGE)
+        expected = pages[missing_index].ljust(PAGE, b"\x00")
+        assert recovered == expected
+
+
+class TestRecovery:
+    def write_block_2po(self, array, payloads, msb_count):
+        acc = ParityAccumulator(PAGE)
+        for wordline, payload in enumerate(payloads):
+            array.program(PhysicalPageAddress(
+                0, 0, 0, page_index(wordline, PageType.LSB)), payload)
+            acc.add(payload)
+        for wordline in range(msb_count):
+            array.program(PhysicalPageAddress(
+                0, 0, 0, page_index(wordline, PageType.MSB)), b"msb")
+        return acc.value()
+
+    def test_recovery_without_loss_is_clean(self):
+        array = make_array(wordlines=4)
+        payloads = [bytes([i]) * PAGE for i in range(4)]
+        parity = self.write_block_2po(array, payloads, msb_count=2)
+        report = recover_active_slow_block(array, 0, 0, 0, parity)
+        assert report.success
+        assert not report.data_was_lost
+        assert report.lsb_reads == 4
+
+    def test_recovery_reconstructs_lost_page(self):
+        array = make_array(wordlines=4)
+        payloads = [bytes([i + 1]) * PAGE for i in range(4)]
+        parity = self.write_block_2po(array, payloads, msb_count=2)
+        simulate_power_loss_during_msb(array, PhysicalPageAddress(
+            0, 0, 0, page_index(2, PageType.MSB)))
+        report = recover_active_slow_block(array, 0, 0, 0, parity)
+        assert report.success
+        assert report.lost_wordlines == [2]
+        assert report.recovered_wordline == 2
+        assert report.recovered_data == payloads[2]
+        assert report.lsb_reads == 3
+
+    def test_two_lost_pages_unrecoverable(self):
+        array = make_array(wordlines=4)
+        payloads = [bytes([i]) * PAGE for i in range(4)]
+        parity = self.write_block_2po(array, payloads, msb_count=0)
+        # Two destroyed LSB pages exceed single-parity protection.
+        chip = array.chips[0]
+        chip.blocks[0].destroy_page(1, PageType.LSB)
+        chip.blocks[0].destroy_page(2, PageType.LSB)
+        report = recover_active_slow_block(array, 0, 0, 0, parity)
+        assert not report.success
+        assert report.lost_wordlines == [1, 2]
+
+    def test_requires_data_bearing_array(self):
+        geometry = NandGeometry(channels=1, chips_per_channel=1,
+                                blocks_per_chip=1, pages_per_block=4,
+                                page_size=PAGE)
+        array = NandArray(geometry, scheme=SequenceScheme.RPS,
+                          store_data=False)
+        with pytest.raises(ValueError):
+            recover_active_slow_block(array, 0, 0, 0, b"")
+
+    @given(st.integers(min_value=0, max_value=7), st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_roundtrip_any_victim(self, victim, seed):
+        """Property: whichever MSB program the power-off interrupts,
+        the paired LSB page is reconstructed byte for byte."""
+        rng = random.Random(seed)
+        array = make_array(wordlines=8)
+        payloads = [bytes(rng.randrange(256) for _ in range(PAGE))
+                    for _ in range(8)]
+        parity = self.write_block_2po(array, payloads, msb_count=victim)
+        simulate_power_loss_during_msb(array, PhysicalPageAddress(
+            0, 0, 0, page_index(victim, PageType.MSB)))
+        report = recover_active_slow_block(array, 0, 0, 0, parity)
+        assert report.success
+        assert report.recovered_data == payloads[victim]
+
+
+class TestRebootEstimate:
+    def test_paper_example_is_81_92_ms(self):
+        overhead = estimate_reboot_read_overhead(
+            chips=16, active_blocks_per_chip=2, lsb_pages_per_block=64,
+            t_read=40e-6)
+        assert overhead == pytest.approx(81.92e-3)
+
+    def test_scales_linearly(self):
+        small = estimate_reboot_read_overhead(8, 2, 64)
+        large = estimate_reboot_read_overhead(16, 2, 64)
+        assert large == pytest.approx(2 * small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_reboot_read_overhead(0, 2, 64)
+        with pytest.raises(ValueError):
+            estimate_reboot_read_overhead(8, 2, 64, t_read=0.0)

@@ -1,0 +1,156 @@
+"""Tests for repro.core.rps: orders, generators, validators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rps import (
+    describe_order,
+    fps_order,
+    is_valid_order,
+    random_rps_order,
+    rps_full_order,
+    rps_half_order,
+    unconstrained_random_order,
+    validate_order,
+)
+from repro.nand.page_types import PageType, page_index
+from repro.nand.sequence import SequenceScheme
+
+WORDLINE_COUNTS = [1, 2, 3, 4, 7, 16, 128]
+
+
+class TestFpsOrder:
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_fps_satisfies_all_four_constraints(self, n):
+        assert is_valid_order(fps_order(n), n, SequenceScheme.FPS)
+
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_fps_is_also_rps_legal(self, n):
+        assert is_valid_order(fps_order(n), n, SequenceScheme.RPS)
+
+    def test_fps_matches_figure_2b(self):
+        # Figure 2(b), six word lines: LSB column 0,1,3,5,7,9 and
+        # MSB column 2,4,6,8,10,11.
+        order = fps_order(6)
+        positions = {page: pos for pos, page in enumerate(order)}
+        lsb_positions = [positions[page_index(w, PageType.LSB)]
+                         for w in range(6)]
+        msb_positions = [positions[page_index(w, PageType.MSB)]
+                         for w in range(6)]
+        assert lsb_positions == [0, 1, 3, 5, 7, 9]
+        assert msb_positions == [2, 4, 6, 8, 10, 11]
+
+    def test_single_wordline(self):
+        assert fps_order(1) == [0, 1]
+
+
+class TestRpsOrders:
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_rps_full_is_rps_legal(self, n):
+        assert is_valid_order(rps_full_order(n), n, SequenceScheme.RPS)
+
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_rps_half_is_rps_legal(self, n):
+        assert is_valid_order(rps_half_order(n), n, SequenceScheme.RPS)
+
+    @pytest.mark.parametrize("n", [3, 4, 7, 16])
+    def test_rps_full_violates_fps(self, n):
+        violations = validate_order(rps_full_order(n), n,
+                                    SequenceScheme.FPS)
+        assert any("constraint 4" in v for v in violations)
+
+    def test_rps_full_writes_all_lsbs_first(self):
+        order = rps_full_order(4)
+        assert order[:4] == [page_index(w, PageType.LSB)
+                             for w in range(4)]
+        assert order[4:] == [page_index(w, PageType.MSB)
+                             for w in range(4)]
+
+    def test_rps_half_has_lsb_prefix(self):
+        order = rps_half_order(8)
+        prefix = order[:4]
+        assert prefix == [page_index(w, PageType.LSB) for w in range(4)]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_rps_orders_are_legal(self, seed):
+        rng = random.Random(seed)
+        order = random_rps_order(16, rng)
+        assert is_valid_order(order, 16, SequenceScheme.RPS)
+
+    def test_random_rps_orders_vary(self):
+        rng = random.Random(0)
+        orders = {tuple(random_rps_order(8, rng)) for _ in range(10)}
+        assert len(orders) > 1
+
+    def test_unconstrained_orders_usually_illegal(self):
+        rng = random.Random(0)
+        illegal = sum(
+            not is_valid_order(unconstrained_random_order(16, rng), 16,
+                               SequenceScheme.RPS)
+            for _ in range(20)
+        )
+        assert illegal >= 19  # overwhelmingly illegal
+
+
+class TestValidator:
+    def test_wrong_length_reported(self):
+        violations = validate_order([0, 1], 4, SequenceScheme.RPS)
+        assert any("entries" in v for v in violations)
+
+    def test_duplicate_page_reported(self):
+        order = rps_full_order(2)
+        order[-1] = order[0]
+        violations = validate_order(order, 2, SequenceScheme.RPS)
+        assert any("twice" in v for v in violations)
+
+    def test_out_of_range_page_reported(self):
+        order = rps_full_order(2)
+        order[-1] = 99
+        violations = validate_order(order, 2, SequenceScheme.RPS)
+        assert any("out of range" in v for v in violations)
+
+    def test_none_scheme_accepts_any_permutation(self):
+        rng = random.Random(3)
+        order = unconstrained_random_order(8, rng)
+        assert is_valid_order(order, 8, SequenceScheme.NONE)
+
+    def test_rejects_non_positive_wordlines(self):
+        with pytest.raises(ValueError):
+            fps_order(0)
+        with pytest.raises(ValueError):
+            validate_order([], 0, SequenceScheme.RPS)
+
+
+class TestDescribe:
+    def test_describe_order(self):
+        assert describe_order([0, 2, 1]) == "LSB(0) LSB(1) MSB(0)"
+
+
+class TestRpsProperties:
+    @given(st.integers(min_value=1, max_value=64), st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_random_rps_always_legal(self, n, seed):
+        rng = random.Random(seed)
+        order = random_rps_order(n, rng)
+        assert is_valid_order(order, n, SequenceScheme.RPS)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_generators_cover_every_page_once(self, n):
+        for generator in (fps_order, rps_full_order, rps_half_order):
+            order = generator(n)
+            assert sorted(order) == list(range(2 * n))
+
+    @given(st.integers(min_value=1, max_value=48), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_fps_legal_implies_rps_legal(self, n, seed):
+        # FPS's constraint set is a superset: any FPS-legal order must
+        # also be RPS-legal.  Exercise with the canonical FPS order and
+        # random RPS orders that happen to be FPS-legal.
+        rng = random.Random(seed)
+        for order in (fps_order(n), random_rps_order(n, rng)):
+            if is_valid_order(order, n, SequenceScheme.FPS):
+                assert is_valid_order(order, n, SequenceScheme.RPS)

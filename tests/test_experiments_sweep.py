@@ -1,0 +1,72 @@
+"""Tests for the generic sweep harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweep import SweepRow, render_sweep, run_sweep
+from repro.nand.geometry import NandGeometry
+
+SMALL = ExperimentConfig(
+    geometry=NandGeometry(channels=2, chips_per_channel=1,
+                          blocks_per_chip=16, pages_per_block=16,
+                          page_size=1024),
+    buffer_pages=32,
+)
+
+
+class TestRunSweep:
+    def test_cartesian_product(self):
+        rows = run_sweep(
+            axes={"buffer_pages": (16, 32), "dummy": ("a", "b")},
+            config_builder=lambda p: dataclasses.replace(
+                SMALL, buffer_pages=int(p["buffer_pages"])),
+            workload="OLTP", total_ops=300,
+        )
+        assert len(rows) == 4
+        combos = {(r.params["buffer_pages"], r.params["dummy"])
+                  for r in rows}
+        assert combos == {(16, "a"), (16, "b"), (32, "a"), (32, "b")}
+
+    def test_results_populated(self):
+        rows = run_sweep(
+            axes={"buffer_pages": (16,)},
+            config_builder=lambda p: SMALL,
+            workload="Varmail", total_ops=300,
+        )
+        assert rows[0].result.iops > 0
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(axes={}, config_builder=lambda p: SMALL)
+
+
+class TestRendering:
+    def make_rows(self):
+        return run_sweep(
+            axes={"buffer_pages": (16, 32)},
+            config_builder=lambda p: dataclasses.replace(
+                SMALL, buffer_pages=int(p["buffer_pages"])),
+            workload="OLTP", total_ops=300,
+        )
+
+    def test_render_contains_params_and_metrics(self):
+        text = render_sweep(self.make_rows())
+        assert "buffer_pages" in text
+        assert "iops" in text
+
+    def test_unknown_metric_rejected(self):
+        rows = self.make_rows()
+        with pytest.raises(KeyError):
+            rows[0].cell("latency_of_doom")
+        with pytest.raises(ValueError):
+            render_sweep([])
+
+    def test_metric_extraction(self):
+        row = self.make_rows()[0]
+        assert row.cell("iops") == pytest.approx(row.result.iops)
+        assert row.cell("erases") == float(row.result.erases)
+        assert row.cell("waf") == pytest.approx(
+            row.result.write_amplification)
+        assert row.cell("peak_bw") >= 0

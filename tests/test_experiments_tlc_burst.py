@@ -1,0 +1,54 @@
+"""Tests for the TLC burst-service experiment."""
+
+import pytest
+
+from repro.experiments.tlc_burst import (
+    render_tlc_burst,
+    run_tlc_burst_experiment,
+    serve_burst,
+)
+from repro.nand.tlc import TlcScheme, fps_tlc_order, rps_tlc_full_order
+
+
+class TestServeBurst:
+    def test_burst_larger_than_block_rejected(self):
+        with pytest.raises(ValueError):
+            serve_burst(rps_tlc_full_order(4), TlcScheme.RPS, 4,
+                        burst_pages=13, label="x")
+
+    def test_rps_burst_is_pure_lsb_until_wordlines(self):
+        outcome = serve_burst(rps_tlc_full_order(8), TlcScheme.RPS, 8,
+                              burst_pages=8, label="rps")
+        assert outcome.page_type_mix == {"LSB": 8}
+        assert outcome.burst_service_time == pytest.approx(8 * 500e-6)
+
+    def test_fps_burst_mixes_types(self):
+        outcome = serve_burst(fps_tlc_order(8), TlcScheme.FPS, 8,
+                              burst_pages=9, label="fps")
+        assert set(outcome.page_type_mix) == {"LSB", "CSB", "MSB"}
+
+    def test_block_completion_equal_for_both(self):
+        fps = serve_burst(fps_tlc_order(8), TlcScheme.FPS, 8, 6, "a")
+        rps = serve_burst(rps_tlc_full_order(8), TlcScheme.RPS, 8, 6,
+                          "b")
+        assert fps.block_completion_time == \
+            pytest.approx(rps.block_completion_time)
+
+    def test_bandwidth_property(self):
+        outcome = serve_burst(rps_tlc_full_order(4), TlcScheme.RPS, 4,
+                              burst_pages=4, label="x")
+        assert outcome.burst_bandwidth_pages_per_s == \
+            pytest.approx(4 / outcome.burst_service_time)
+
+
+class TestExperiment:
+    def test_speedup_in_expected_band(self):
+        fps, rps = run_tlc_burst_experiment(wordlines=32,
+                                            burst_pages=24)
+        speedup = fps.burst_service_time / rps.burst_service_time
+        assert 4.0 < speedup <= 5.34
+
+    def test_render(self):
+        text = render_tlc_burst(run_tlc_burst_experiment(16, 12))
+        assert "RPS-TLC" in text
+        assert "speedup" in text

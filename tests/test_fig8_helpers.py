@@ -1,0 +1,91 @@
+"""Unit tests for Fig8Result post-processing (synthetic inputs)."""
+
+import pytest
+
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.runner import RunResult
+from repro.sim.stats import SimStats
+
+
+def fake_result(iops: float, erases: int, bandwidths=None) -> RunResult:
+    stats = SimStats(page_size=4096, bandwidth_window=1.0)
+    stats.first_arrival = 0.0
+    # one completed request per IOPS unit over one second
+    stats.completed_writes = int(iops)
+    stats.last_completion = 1.0
+    for index, mbps in enumerate(bandwidths or [10.0]):
+        stats.write_bandwidth.record(float(index), int(mbps * 1e6))
+    return RunResult(
+        ftl_name="x", stats=stats,
+        counters={"erases": erases, "host_programs": 100,
+                  "gc_programs": 10, "backup_programs": 5},
+        events=0, logical_pages=1000,
+    )
+
+
+@pytest.fixture
+def result():
+    runs = {
+        "Varmail": {
+            "pageFTL": fake_result(100, 10, [10, 20, 40]),
+            "parityFTL": fake_result(80, 14, [10, 18, 30]),
+            "rtfFTL": fake_result(90, 15, [12, 20, 35]),
+            "flexFTL": fake_result(115, 12, [15, 30, 80]),
+        },
+        "OLTP": {
+            "pageFTL": fake_result(200, 20),
+            "parityFTL": fake_result(160, 30),
+            "rtfFTL": fake_result(165, 32),
+            "flexFTL": fake_result(190, 24),
+        },
+    }
+    return Fig8Result(runs=runs, span=1000)
+
+
+class TestFig8Postprocessing:
+    def test_normalized_iops(self, result):
+        normalized = result.normalized_iops()
+        assert normalized["Varmail"]["pageFTL"] == pytest.approx(1.0)
+        assert normalized["Varmail"]["flexFTL"] == pytest.approx(1.15)
+        assert normalized["OLTP"]["parityFTL"] == pytest.approx(0.8)
+
+    def test_normalized_erasures(self, result):
+        normalized = result.normalized_erasures()
+        assert normalized["OLTP"]["parityFTL"] == pytest.approx(1.5)
+
+    def test_zero_erase_baseline_floored(self):
+        runs = {"W": {
+            "pageFTL": fake_result(10, 0),
+            "flexFTL": fake_result(10, 3),
+        }}
+        normalized = Fig8Result(runs=runs, span=1).normalized_erasures()
+        assert normalized["W"]["flexFTL"] == pytest.approx(3.0)
+
+    def test_varmail_cdf_keys(self, result):
+        cdf = result.varmail_cdf()
+        assert set(cdf) == {"pageFTL", "parityFTL", "rtfFTL",
+                            "flexFTL"}
+        for points in cdf.values():
+            values = [v for _, v in points]
+            assert values == sorted(values)
+
+    def test_varmail_peak_ratio(self, result):
+        ratio = result.varmail_peak_ratio("flexFTL", "rtfFTL")
+        assert ratio == pytest.approx(80 / 35)
+
+    def test_missing_varmail_raises(self):
+        fig8 = Fig8Result(runs={"OLTP": {"pageFTL": fake_result(1, 1)}},
+                          span=1)
+        with pytest.raises(KeyError):
+            fig8.varmail_cdf()
+
+    def test_render_includes_average_row(self, result):
+        text = result.render()
+        assert "Average" in text
+        assert "Figure 8(c)" in text
+
+    def test_run_result_properties(self):
+        run = fake_result(50, 5)
+        assert run.iops == pytest.approx(50.0)
+        assert run.erases == 5
+        assert run.write_amplification == pytest.approx(1.15)

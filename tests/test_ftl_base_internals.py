@@ -1,0 +1,162 @@
+"""Focused tests for BaseFtl internals and controller details."""
+
+import pytest
+
+from repro.core.flexftl import FlexFtl
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.ftl.parityftl import ParityFtl
+from repro.nand.geometry import NandGeometry
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.ops import OpKind
+from repro.sim.queues import Request, RequestKind
+from repro.sim.stats import SimStats
+
+from tests.helpers import build_small_system
+
+GEOMETRY = NandGeometry(channels=2, chips_per_channel=2,
+                        blocks_per_chip=12, pages_per_block=8,
+                        page_size=512)
+
+
+def saturate(system, count, span):
+    sim, array, buffer, ftl, controller = system
+    ops = [StreamOp(RequestKind.WRITE, (i * 5) % span, 1)
+           for i in range(count)]
+    host = ClosedLoopHost(sim, controller, [ops])
+    host.start()
+    sim.run()
+
+
+class TestPendingQueuePrecedence:
+    def test_parity_ops_run_before_next_host_write(self):
+        system = build_small_system(ParityFtl, GEOMETRY,
+                                    buffer_pages=16)
+        sim, array, buffer, ftl, controller = system
+        # Two LSB host writes schedule one parity program into the
+        # pending queue; it must be issued before a third host write
+        # on the same chip.
+        state = ftl.chips[0]
+        assert not state.pending
+        ftl.write_buffer.push(0, 0.0)
+        op1 = ftl.next_op(0, 0.0)
+        assert op1.tag == "host"
+        ftl.write_buffer.push(1, 0.0)
+        op2 = ftl.next_op(0, 0.0)
+        assert op2.tag == "host"
+        # FPS order starts LSB, LSB -> the pair triggers a parity op.
+        assert state.pending
+        ftl.write_buffer.push(2, 0.0)
+        op3 = ftl.next_op(0, 0.0)
+        assert op3.tag == "backup"
+
+    def test_gc_program_follows_its_read(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16)
+        sim, array, buffer, ftl, controller = system
+        span = ftl.logical_pages * 3 // 4
+        saturate(system, 4 * span, span)
+        # every pending queue is drained at run end
+        assert all(not state.pending for state in ftl.chips)
+
+
+class TestGcInternals:
+    def test_gc_skips_superseded_lpns(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16)
+        sim, array, buffer, ftl, controller = system
+        span = ftl.logical_pages // 2
+        saturate(system, 3 * span, span)
+        # Force a GC job and invalidate its entire work list.
+        chip_id = 0
+        victim = ftl._select_victim(chip_id)
+        if victim is None:
+            pytest.skip("no victim on chip 0 in this run")
+        ftl._begin_gc(chip_id, victim, background=False)
+        job = ftl.chips[chip_id].gc
+        job.valid_lpns.clear()  # nothing left to move
+        op = ftl._gc_step(chip_id)
+        assert op.kind is OpKind.ERASE
+        assert ftl.chips[chip_id].gc is None
+
+    def test_begin_gc_twice_rejected(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16)
+        _, _, _, ftl, _ = system
+        span = ftl.logical_pages // 2
+        saturate(system, 3 * span, span)
+        victim = ftl._select_victim(0)
+        if victim is None:
+            pytest.skip("no victim")
+        ftl._begin_gc(0, victim, background=False)
+        other = ftl._select_victim(0)
+        if other is not None:
+            with pytest.raises(RuntimeError):
+                ftl._begin_gc(0, other, background=False)
+
+    def test_free_block_count_api(self):
+        system = build_small_system(PageFtl, GEOMETRY)
+        ftl = system[3]
+        assert ftl.free_block_count(0) == GEOMETRY.blocks_per_chip
+
+    def test_reserve_respected_for_host_allocations(self):
+        config = FtlConfig(gc_reserve_blocks=3)
+        system = build_small_system(PageFtl, GEOMETRY,
+                                    ftl_config=config)
+        ftl = system[3]
+        state = ftl.chips[0]
+        # drain down to the reserve
+        taken = []
+        while True:
+            block = ftl._take_free_block(0)
+            if block is None:
+                break
+            taken.append(block)
+        assert len(state.free_blocks) == 3
+        # GC allocations may dip into it
+        assert ftl._take_free_block(0, for_gc=True) is not None
+
+
+class TestControllerDetails:
+    def test_pending_admissions_counter(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=4)
+        sim, _, _, _, controller = system
+        controller.submit(Request(0.0, RequestKind.WRITE, 0, 20))
+        assert controller.pending_admissions == 1
+        sim.run()
+        assert controller.pending_admissions == 0
+
+    def test_multiple_queued_writes_complete_in_order(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=4)
+        sim, _, _, _, controller = system
+        first = Request(0.0, RequestKind.WRITE, 0, 10)
+        second = Request(0.0, RequestKind.WRITE, 50, 10)
+        controller.submit(first)
+        controller.submit(second)
+        sim.run()
+        assert first.completed_at <= second.completed_at
+
+    def test_stats_swap_isolates_phases(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=8)
+        sim, _, _, _, controller = system
+        controller.submit(Request(0.0, RequestKind.WRITE, 0, 4))
+        sim.run()
+        fresh = SimStats(page_size=GEOMETRY.page_size)
+        controller.stats = fresh
+        controller.submit(Request(sim.now, RequestKind.WRITE, 10, 2))
+        sim.run()
+        assert fresh.completed_writes == 1
+        assert fresh.written_pages == 2
+
+    def test_flexftl_bg_promotion_under_pressure(self):
+        # A background GC in progress must not deadlock an urgent
+        # host write: the base promotes it to foreground.
+        config = FtlConfig(gc_threshold_fraction=0.4)
+        system = build_small_system(FlexFtl, GEOMETRY, buffer_pages=8,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        span = ftl.logical_pages * 3 // 4
+        ops = [StreamOp(RequestKind.WRITE, (i * 7) % span, 1,
+                        think_after=0.002 if i % 8 == 0 else 0.0)
+               for i in range(5 * span)]
+        host = ClosedLoopHost(sim, controller, [ops])
+        host.start()
+        sim.run()
+        assert controller.stats.completed_writes == len(ops)

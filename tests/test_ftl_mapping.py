@@ -1,0 +1,126 @@
+"""Tests for repro.ftl.mapping, including a property-based invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.mapping import MappingTable
+from repro.nand.geometry import NandGeometry
+
+GEOMETRY = NandGeometry(channels=1, chips_per_channel=2,
+                        blocks_per_chip=4, pages_per_block=8,
+                        page_size=256)
+
+
+@pytest.fixture
+def table():
+    return MappingTable(GEOMETRY, logical_pages=32)
+
+
+class TestBasicMapping:
+    def test_unmapped_lookup(self, table):
+        assert table.lookup(0) is None
+        assert table.lookup_address(0) is None
+
+    def test_map_and_lookup(self, table):
+        table.map_write(3, 17)
+        assert table.lookup(3) == 17
+        assert table.lpn_of(17) == 3
+        assert table.is_valid(17)
+
+    def test_lookup_address_decodes(self, table):
+        table.map_write(0, 9)
+        addr = table.lookup_address(0)
+        assert GEOMETRY.ppn(addr) == 9
+
+    def test_remap_invalidates_old(self, table):
+        table.map_write(3, 17)
+        old = table.map_write(3, 42)
+        assert old == 17
+        assert not table.is_valid(17)
+        assert table.lookup(3) == 42
+
+    def test_double_map_same_ppn_rejected(self, table):
+        table.map_write(1, 5)
+        with pytest.raises(ValueError):
+            table.map_write(2, 5)
+
+    def test_unmap(self, table):
+        table.map_write(1, 5)
+        assert table.unmap(1) == 5
+        assert table.lookup(1) is None
+        assert table.unmap(1) is None
+
+    def test_lpn_bounds_checked(self, table):
+        with pytest.raises(IndexError):
+            table.lookup(32)
+        with pytest.raises(IndexError):
+            table.map_write(-1, 0)
+
+
+class TestValidityAccounting:
+    def test_valid_counts_per_block(self, table):
+        ppb = GEOMETRY.pages_per_block
+        table.map_write(0, 0)
+        table.map_write(1, 1)
+        table.map_write(2, ppb)  # second block
+        assert table.valid_count(0) == 2
+        assert table.valid_count(1) == 1
+        assert table.invalid_count(0) == ppb - 2
+
+    def test_valid_lpns_in_block(self, table):
+        table.map_write(5, 2)
+        table.map_write(6, 4)
+        assert sorted(table.valid_lpns_in_block(0)) == [5, 6]
+
+    def test_erase_check_rejects_blocks_with_valid_data(self, table):
+        table.map_write(0, 0)
+        with pytest.raises(ValueError):
+            table.note_block_erased(0)
+
+    def test_erase_check_passes_clean_block(self, table):
+        table.map_write(0, 0)
+        table.map_write(0, GEOMETRY.pages_per_block)  # moved away
+        table.note_block_erased(0)
+
+    def test_global_block_helpers(self, table):
+        ppb = GEOMETRY.pages_per_block
+        assert table.global_block(0) == 0
+        assert table.global_block(ppb) == 1
+        assert table.global_block_of(1, 2) == 1 * 4 + 2
+
+    def test_oversized_logical_space_rejected(self):
+        with pytest.raises(ValueError):
+            MappingTable(GEOMETRY, GEOMETRY.total_pages + 1)
+        with pytest.raises(ValueError):
+            MappingTable(GEOMETRY, 0)
+
+
+class TestMappingInvariants:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31),
+                  st.integers(min_value=0, max_value=63)),
+        max_size=80,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_l2p_p2l_stay_consistent(self, operations):
+        """L2P and P2L are mutual inverses under any write sequence."""
+        table = MappingTable(GEOMETRY, logical_pages=32)
+        used_ppns = set()
+        for lpn, ppn in operations:
+            if ppn in used_ppns:
+                continue  # a real FTL never reuses a live page
+            table.map_write(lpn, ppn)
+            used_ppns.add(ppn)
+            old = None
+        # Invariants:
+        mapped = 0
+        for lpn in range(32):
+            ppn = table.lookup(lpn)
+            if ppn is not None:
+                assert table.lpn_of(ppn) == lpn
+                mapped += 1
+        assert mapped == table.mapped_pages
+        total_valid = sum(table.valid_count(gb)
+                          for gb in range(GEOMETRY.total_blocks))
+        assert total_valid == mapped

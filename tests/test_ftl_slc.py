@@ -1,0 +1,77 @@
+"""Tests for the LSB-only slcFTL baseline."""
+
+import pytest
+
+from repro.ftl.slcftl import SlcFtl
+from repro.nand.array import NandArray
+from repro.nand.page_types import PageType
+from repro.nand.sequence import SequenceScheme
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind, WriteBuffer
+
+from tests.helpers import FTL_SCHEMES, build_small_system
+
+FTL_SCHEMES[SlcFtl] = SequenceScheme.RPS
+
+
+def run_writes(system, count, span):
+    sim, array, buffer, ftl, controller = system
+    ops = [StreamOp(RequestKind.WRITE, (i * 3) % span, 1)
+           for i in range(count)]
+    host = ClosedLoopHost(sim, controller, [ops])
+    host.start()
+    sim.run()
+    return controller.stats
+
+
+class TestSlcFtl:
+    def test_rejects_fps_device(self, small_geometry):
+        array = NandArray(small_geometry, scheme=SequenceScheme.FPS)
+        with pytest.raises(ValueError):
+            SlcFtl(array, WriteBuffer(8))
+
+    def test_logical_space_is_half(self, small_geometry):
+        from repro.ftl.pageftl import PageFtl
+        slc = build_small_system(SlcFtl, small_geometry)[3]
+        page = build_small_system(PageFtl, small_geometry)[3]
+        assert slc.logical_pages == page.logical_pages // 2
+
+    def test_never_programs_msb(self, small_geometry):
+        system = build_small_system(SlcFtl, small_geometry)
+        _, array, _, ftl, _ = system
+        span = ftl.logical_pages
+        run_writes(system, 3 * span, span)
+        assert array.msb_programs == 0
+        assert array.lsb_programs > 0
+        assert array.total_erases > 0  # GC worked LSB-only
+
+    def test_every_page_type_is_fast(self, small_geometry):
+        system = build_small_system(SlcFtl, small_geometry)
+        sim, array, buffer, ftl, controller = system
+        stats = run_writes(system, 64, span=128)
+        assert stats.completed_writes == 64
+        for chip in array.chips:
+            for block in chip.blocks:
+                for index in block.program_history:
+                    assert index % 2 == int(PageType.LSB)
+
+    def test_mapping_consistent_under_overwrites(self, small_geometry):
+        system = build_small_system(SlcFtl, small_geometry)
+        _, _, _, ftl, _ = system
+        span = 32
+        run_writes(system, 10 * span, span)
+        live = 0
+        for lpn in range(span):
+            ppn = ftl.lookup(lpn)
+            assert ppn is not None
+            live += 1
+        total_valid = sum(
+            ftl.mapping.valid_count(gb)
+            for gb in range(small_geometry.total_blocks)
+        )
+        assert total_valid == live
+
+    def test_no_backup_blocks(self, small_geometry):
+        ftl = build_small_system(SlcFtl, small_geometry)[3]
+        assert ftl.backup_programs == 0
+        assert all(state.backup is None for state in ftl.chips)

@@ -1,0 +1,85 @@
+"""Integration test: the paper's headline shapes at reduced scale.
+
+One moderately sized Figure 8 style comparison (two workloads, four
+FTLs) asserting the qualitative results the paper reports.  Marked
+slow-ish but still well under a minute.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.runner import ExperimentConfig
+
+# The default experiment geometry: flexFTL's quota and SBQueue sizing
+# scale with the device, so the headline shapes need the full device
+# (the op count is reduced instead to keep the test quick).
+CONFIG = ExperimentConfig()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    # NTRX is shortened (its differences are steady-state from the
+    # start); Varmail runs at full length because flexFTL's advantage
+    # there appears once background GC reaches steady state and keeps
+    # the LSB quota replenished.
+    return run_fig8(workloads=("NTRX", "Varmail"), config=CONFIG,
+                    ops={"NTRX": 9600, "Varmail": 24000},
+                    utilization=0.75, seed=1)
+
+
+class TestFig8aShape:
+    def test_flexftl_beats_backup_baselines_everywhere(self, fig8):
+        for workload, runs in fig8.iops().items():
+            assert runs["flexFTL"] > runs["parityFTL"], workload
+            assert runs["flexFTL"] > runs["rtfFTL"], workload
+
+    def test_flexftl_close_to_pageftl_on_intensive_load(self, fig8):
+        iops = fig8.iops()["NTRX"]
+        assert iops["flexFTL"] >= 0.85 * iops["pageFTL"]
+
+    def test_flexftl_beats_pageftl_on_bursty_load(self, fig8):
+        iops = fig8.iops()["Varmail"]
+        assert iops["flexFTL"] >= 1.02 * iops["pageFTL"]
+
+    def test_parityftl_pays_backup_tax_when_intensive(self, fig8):
+        iops = fig8.iops()["NTRX"]
+        assert iops["parityFTL"] < 0.95 * iops["pageFTL"]
+
+
+class TestFig8bShape:
+    def test_flexftl_erases_less_than_parityftl(self, fig8):
+        for workload, runs in fig8.erasures().items():
+            assert runs["flexFTL"] < runs["parityFTL"], workload
+
+    def test_flexftl_erases_less_than_rtfftl(self, fig8):
+        for workload, runs in fig8.erasures().items():
+            assert runs["flexFTL"] < runs["rtfFTL"], workload
+
+    def test_pageftl_erases_least(self, fig8):
+        for workload, runs in fig8.erasures().items():
+            assert runs["pageFTL"] <= runs["flexFTL"], workload
+
+
+class TestFig8cShape:
+    def test_flexftl_peak_bandwidth_dominates(self, fig8):
+        ratio = fig8.varmail_peak_ratio("flexFTL", "rtfFTL")
+        assert ratio > 1.3  # paper: ~2.13x at full scale
+
+    def test_cdf_points_available_for_all_ftls(self, fig8):
+        cdf = fig8.varmail_cdf()
+        assert set(cdf) == {"pageFTL", "parityFTL", "rtfFTL", "flexFTL"}
+
+
+class TestBackupArithmetic:
+    def test_flexftl_backup_overhead_is_tiny(self, fig8):
+        runs = fig8.runs["Varmail"]
+        flex = runs["flexFTL"].counters
+        parity = runs["parityFTL"].counters
+        assert flex["backup_programs"] * 5 < parity["backup_programs"]
+
+    def test_write_amplification_ordering(self, fig8):
+        runs = fig8.runs["NTRX"]
+        assert runs["pageFTL"].write_amplification <= \
+            runs["flexFTL"].write_amplification
+        assert runs["flexFTL"].write_amplification < \
+            runs["parityFTL"].write_amplification

@@ -1,0 +1,109 @@
+"""Tests for the metrics package."""
+
+import pytest
+
+from repro.metrics.bandwidth import cdf_points, mean_bandwidth, peak_ratio
+from repro.metrics.iops import normalize, speedup_matrix
+from repro.metrics.lifetime import erasure_summary, wear_spread
+from repro.metrics.report import render_grouped_bars, render_table
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.sim.stats import WindowedBandwidth
+
+
+class TestNormalize:
+    def test_normalize_to_baseline(self):
+        values = {"a": 2.0, "b": 4.0, "base": 2.0}
+        normalized = normalize(values, "base")
+        assert normalized == {"a": 1.0, "b": 2.0, "base": 1.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, "base")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize({"base": 0.0}, "base")
+
+    def test_speedup_matrix(self):
+        matrix = speedup_matrix({"fast": 4.0, "slow": 2.0})
+        assert matrix["fast"]["slow"] == pytest.approx(2.0)
+        assert matrix["slow"]["fast"] == pytest.approx(0.5)
+        assert matrix["fast"]["fast"] == pytest.approx(1.0)
+
+
+class TestBandwidthMetrics:
+    def make_tracker(self, values):
+        tracker = WindowedBandwidth(window=1.0)
+        for index, mbps in enumerate(values):
+            tracker.record(float(index), int(mbps * 1e6))
+        return tracker
+
+    def test_cdf_points_monotonic(self):
+        tracker = self.make_tracker(range(1, 101))
+        points = cdf_points(tracker)
+        values = [v for _, v in points]
+        assert values == sorted(values)
+        assert points[-1][1] == pytest.approx(100.0)
+
+    def test_peak_ratio(self):
+        trackers = {
+            "flex": self.make_tracker([10, 20, 80]),
+            "rtf": self.make_tracker([10, 20, 40]),
+        }
+        assert peak_ratio(trackers, "flex", "rtf", fraction=1.0) \
+            == pytest.approx(2.0)
+
+    def test_mean_bandwidth(self):
+        tracker = self.make_tracker([10, 20, 30])
+        assert mean_bandwidth(tracker) == pytest.approx(20.0)
+
+    def test_empty_tracker_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points(WindowedBandwidth())
+
+
+class TestLifetimeMetrics:
+    def test_erasure_summary(self):
+        counters = {"host_programs": 100, "gc_programs": 30,
+                    "backup_programs": 20, "erases": 7}
+        summary = erasure_summary(counters)
+        assert summary["erases"] == 7.0
+        assert summary["write_amplification"] == pytest.approx(1.5)
+        assert summary["backup_overhead"] == pytest.approx(0.2)
+        assert summary["gc_overhead"] == pytest.approx(0.3)
+
+    def test_wear_spread(self):
+        geometry = NandGeometry(channels=1, chips_per_channel=1,
+                                blocks_per_chip=4, pages_per_block=4)
+        array = NandArray(geometry)
+        array.erase(0, 0, 0)
+        array.erase(0, 0, 0)
+        array.erase(0, 0, 1)
+        spread = wear_spread(array)
+        assert spread["max"] == 2.0
+        assert spread["min"] == 0.0
+        assert spread["mean"] == pytest.approx(0.75)
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_grouped_bars_appends_average(self):
+        data = {
+            "w1": {"x": 1.0, "y": 2.0},
+            "w2": {"x": 3.0, "y": 4.0},
+        }
+        rendered = render_grouped_bars(data, ["x", "y"])
+        assert "Average" in rendered
+        assert "2.00" in rendered  # avg of x
+        assert "3.00" in rendered  # avg of y

@@ -1,0 +1,78 @@
+"""Tests for latency metrics and the GC-policy option."""
+
+import pytest
+
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.metrics.latency import latency_summary, percentile, summary_row
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind
+
+from tests.helpers import build_small_system
+
+
+class TestLatencyMetrics:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(100)]
+        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 0.5) == 50.0
+        assert percentile(samples, 1.0) == 99.0
+
+    def test_summary_fields(self):
+        summary = latency_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+        assert summary["p50"] in (3.0, 2.0)
+
+    def test_summary_row_formats_ms(self):
+        row = summary_row("reads", [0.001, 0.002])
+        assert row[0] == "reads"
+        assert row[1] == "1.500"
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary([])
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestGcPolicyOption:
+    def run_heavy(self, policy, small_geometry):
+        config = FtlConfig(gc_policy=policy)
+        system = build_small_system(PageFtl, small_geometry,
+                                    buffer_pages=32, ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        span = ftl.logical_pages * 3 // 4
+        ops = [StreamOp(RequestKind.WRITE, (i * 7) % span, 1)
+               for i in range(4 * span)]
+        host = ClosedLoopHost(sim, controller, [ops])
+        host.start()
+        sim.run()
+        return ftl, array
+
+    def test_both_policies_collect_and_complete(self, small_geometry):
+        for policy in ("greedy", "cost_benefit"):
+            ftl, array = self.run_heavy(policy, small_geometry)
+            assert array.total_erases > 0
+            assert ftl.foreground_gcs + ftl.background_gcs > 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FtlConfig(gc_policy="newest_first")
+
+    def test_write_clock_advances(self, small_geometry):
+        ftl, _ = self.run_heavy("cost_benefit", small_geometry)
+        assert ftl._write_clock == \
+            ftl.host_programs + ftl.gc_programs
+
+    def test_fully_invalid_block_scores_infinite(self, small_geometry):
+        config = FtlConfig(gc_policy="cost_benefit")
+        system = build_small_system(PageFtl, small_geometry,
+                                    ftl_config=config)
+        ftl = system[3]
+        pages = small_geometry.pages_per_block
+        assert ftl._victim_score(0, invalid=pages) == float("inf")
+        finite = ftl._victim_score(0, invalid=pages // 2)
+        assert 0 < finite < float("inf")

@@ -1,0 +1,85 @@
+"""Tests for ASCII plot rendering."""
+
+import pytest
+
+from repro.metrics.plots import (
+    ascii_bars,
+    ascii_box_plot,
+    ascii_cdf,
+    ascii_grouped_bars,
+)
+from repro.reliability.montecarlo import BoxStats
+
+
+def box(minimum, p25, median, p75, maximum):
+    return BoxStats(minimum, p25, median, p75, maximum,
+                    mean=(minimum + maximum) / 2)
+
+
+class TestBoxPlot:
+    def test_renders_one_row_per_label(self):
+        plot = ascii_box_plot({
+            "a": box(0, 1, 2, 3, 4),
+            "b": box(1, 2, 3, 4, 5),
+        })
+        lines = plot.splitlines()
+        assert len(lines) == 3  # two rows + axis
+        assert lines[0].lstrip().startswith("a")
+
+    def test_markers_present(self):
+        plot = ascii_box_plot({"x": box(0, 2, 5, 8, 10)})
+        row = plot.splitlines()[0]
+        for marker in "|[]*=":
+            assert marker in row
+
+    def test_degenerate_distribution(self):
+        plot = ascii_box_plot({"flat": box(1, 1, 1, 1, 1)})
+        assert "*" in plot
+
+    def test_rejects_empty_and_narrow(self):
+        with pytest.raises(ValueError):
+            ascii_box_plot({})
+        with pytest.raises(ValueError):
+            ascii_box_plot({"a": box(0, 1, 2, 3, 4)}, width=5)
+
+
+class TestBars:
+    def test_bar_lengths_proportional(self):
+        plot = ascii_bars({"half": 5.0, "full": 10.0}, width=20)
+        lines = plot.splitlines()
+        half = lines[0].count("#")
+        full = lines[1].count("#")
+        assert full == 20
+        assert half == 10
+
+    def test_values_printed(self):
+        plot = ascii_bars({"x": 1.234})
+        assert "1.23" in plot
+
+    def test_grouped_blocks(self):
+        plot = ascii_grouped_bars({
+            "w1": {"a": 1.0, "b": 2.0},
+            "w2": {"a": 3.0, "b": 1.0},
+        })
+        assert "w1" in plot and "w2" in plot
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+
+class TestCdfPlot:
+    def test_axes_and_legend(self):
+        points = {
+            "one": [(0.25, 10.0), (0.5, 20.0), (1.0, 40.0)],
+            "two": [(0.25, 15.0), (0.5, 25.0), (1.0, 30.0)],
+        }
+        plot = ascii_cdf(points)
+        assert plot.splitlines()[0].startswith("1.0 |")
+        assert "0.0 +" in plot
+        assert "a=one" in plot
+        assert "b=two" in plot
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})

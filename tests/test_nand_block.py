@@ -1,0 +1,111 @@
+"""Tests for repro.nand.block."""
+
+import pytest
+
+from repro.nand.block import Block, BlockState, PageState
+from repro.nand.errors import EccUncorrectableError, PageStateError
+from repro.nand.page_types import PageType
+
+
+class TestBlockLifecycle:
+    def test_fresh_block_is_free(self):
+        block = Block(0, wordlines=4)
+        assert block.state is BlockState.FREE
+        assert block.erase_count == 0
+        assert block.programmed_count() == 0
+        assert block.free_count() == 8
+
+    def test_program_transitions_to_open(self):
+        block = Block(0, wordlines=4)
+        block.program(0, PageType.LSB)
+        assert block.state is BlockState.OPEN
+        assert block.is_programmed(0, PageType.LSB)
+        assert not block.is_programmed(0, PageType.MSB)
+
+    def test_full_after_all_pages(self):
+        block = Block(0, wordlines=2)
+        for wordline in range(2):
+            block.program(wordline, PageType.LSB)
+        for wordline in range(2):
+            block.program(wordline, PageType.MSB)
+        assert block.state is BlockState.FULL
+        assert block.free_count() == 0
+
+    def test_erase_resets_everything(self):
+        block = Block(0, wordlines=2, store_data=True)
+        block.program(0, PageType.LSB, b"abc")
+        block.erase()
+        assert block.state is BlockState.FREE
+        assert block.erase_count == 1
+        assert block.program_history == []
+        with pytest.raises(EccUncorrectableError):
+            block.read(0, PageType.LSB)
+
+    def test_double_program_rejected(self):
+        block = Block(0, wordlines=2)
+        block.program(0, PageType.LSB)
+        with pytest.raises(PageStateError):
+            block.program(0, PageType.LSB)
+
+    def test_program_out_of_range_wordline(self):
+        block = Block(0, wordlines=2)
+        with pytest.raises(ValueError):
+            block.program(2, PageType.LSB)
+
+
+class TestBlockData:
+    def test_data_roundtrip_when_storing(self):
+        block = Block(0, wordlines=2, store_data=True)
+        block.program(1, PageType.LSB, b"hello")
+        assert block.read(1, PageType.LSB) == b"hello"
+
+    def test_metadata_only_returns_none(self):
+        block = Block(0, wordlines=2, store_data=False)
+        block.program(1, PageType.LSB, b"hello")
+        assert block.read(1, PageType.LSB) is None
+
+    def test_reading_erased_page_raises(self):
+        block = Block(0, wordlines=2)
+        with pytest.raises(EccUncorrectableError):
+            block.read(0, PageType.MSB)
+
+
+class TestDestroy:
+    def test_destroyed_page_is_unreadable(self):
+        block = Block(0, wordlines=2, store_data=True)
+        block.program(0, PageType.LSB, b"x")
+        block.destroy_page(0, PageType.LSB)
+        assert block.page_state(0) is PageState.DESTROYED
+        with pytest.raises(EccUncorrectableError):
+            block.read(0, PageType.LSB)
+
+    def test_destroying_erased_page_rejected(self):
+        block = Block(0, wordlines=2)
+        with pytest.raises(PageStateError):
+            block.destroy_page(0, PageType.LSB)
+
+    def test_destroyed_counts_as_programmed_capacity(self):
+        block = Block(0, wordlines=2)
+        block.program(0, PageType.LSB)
+        block.destroy_page(0, PageType.LSB)
+        # The page is not erased: the capacity is consumed.
+        assert block.free_count() == 3
+        assert block.programmed_count() == 1
+
+
+class TestCounting:
+    def test_counts_by_type(self):
+        block = Block(0, wordlines=3)
+        block.program(0, PageType.LSB)
+        block.program(1, PageType.LSB)
+        assert block.programmed_count(PageType.LSB) == 2
+        assert block.programmed_count(PageType.MSB) == 0
+        assert block.free_count(PageType.LSB) == 1
+        assert block.free_count(PageType.MSB) == 3
+
+    def test_history_records_order(self):
+        block = Block(0, wordlines=2)
+        block.program(0, PageType.LSB)
+        block.program(1, PageType.LSB)
+        block.program(0, PageType.MSB)
+        assert block.program_history == [0, 2, 1]

@@ -1,0 +1,117 @@
+"""Tests for repro.nand.geometry."""
+
+import pytest
+
+from repro.nand.errors import AddressError
+from repro.nand.geometry import (
+    PAPER_GEOMETRY,
+    NandGeometry,
+    PhysicalPageAddress,
+)
+
+
+class TestGeometryValidation:
+    def test_defaults_are_paper_geometry(self):
+        geometry = NandGeometry()
+        assert geometry.channels == 8
+        assert geometry.chips_per_channel == 4
+        assert geometry.blocks_per_chip == 512
+        assert geometry.pages_per_block == 256
+        assert geometry.page_size == 4096
+
+    def test_paper_capacity_is_16_gb(self):
+        assert PAPER_GEOMETRY.capacity_bytes == 16 * 1024 ** 3
+
+    def test_paper_total_chips(self):
+        assert PAPER_GEOMETRY.total_chips == 32
+
+    def test_wordlines_are_half_the_pages(self):
+        assert PAPER_GEOMETRY.wordlines_per_block == 128
+
+    @pytest.mark.parametrize("field", [
+        "channels", "chips_per_channel", "blocks_per_chip",
+        "pages_per_block", "page_size",
+    ])
+    def test_rejects_non_positive_dimensions(self, field):
+        with pytest.raises(ValueError):
+            NandGeometry(**{field: 0})
+
+    def test_rejects_odd_pages_per_block(self):
+        with pytest.raises(ValueError):
+            NandGeometry(pages_per_block=7)
+
+    def test_total_pages(self):
+        geometry = NandGeometry(channels=2, chips_per_channel=2,
+                                blocks_per_chip=4, pages_per_block=8)
+        assert geometry.total_pages == 2 * 2 * 4 * 8
+        assert geometry.total_blocks == 2 * 2 * 4
+
+
+class TestChipIds:
+    def test_chip_id_roundtrip(self):
+        geometry = NandGeometry(channels=3, chips_per_channel=5,
+                                blocks_per_chip=2, pages_per_block=4)
+        seen = set()
+        for channel in range(3):
+            for chip in range(5):
+                cid = geometry.chip_id(channel, chip)
+                assert geometry.chip_coords(cid) == (channel, chip)
+                seen.add(cid)
+        assert seen == set(range(15))
+
+    def test_chip_id_out_of_range(self):
+        geometry = NandGeometry()
+        with pytest.raises(AddressError):
+            geometry.chip_id(99, 0)
+        with pytest.raises(AddressError):
+            geometry.chip_coords(geometry.total_chips)
+
+
+class TestPpnEncoding:
+    def test_ppn_roundtrip_exhaustive_on_tiny_device(self):
+        geometry = NandGeometry(channels=2, chips_per_channel=2,
+                                blocks_per_chip=3, pages_per_block=4)
+        for ppn in range(geometry.total_pages):
+            addr = geometry.address_of(ppn)
+            assert geometry.ppn(addr) == ppn
+
+    def test_ppn_is_dense_and_unique(self):
+        geometry = NandGeometry(channels=2, chips_per_channel=1,
+                                blocks_per_chip=2, pages_per_block=4)
+        ppns = set()
+        for channel in range(2):
+            for block in range(2):
+                for page in range(4):
+                    addr = PhysicalPageAddress(channel, 0, block, page)
+                    ppns.add(geometry.ppn(addr))
+        assert ppns == set(range(geometry.total_pages))
+
+    def test_address_of_out_of_range(self):
+        geometry = NandGeometry()
+        with pytest.raises(AddressError):
+            geometry.address_of(-1)
+        with pytest.raises(AddressError):
+            geometry.address_of(geometry.total_pages)
+
+    def test_validate_rejects_bad_addresses(self):
+        geometry = NandGeometry(channels=1, chips_per_channel=1,
+                                blocks_per_chip=1, pages_per_block=2)
+        good = PhysicalPageAddress(0, 0, 0, 1)
+        geometry.validate(good)
+        for bad in [
+            PhysicalPageAddress(1, 0, 0, 0),
+            PhysicalPageAddress(0, 1, 0, 0),
+            PhysicalPageAddress(0, 0, 1, 0),
+            PhysicalPageAddress(0, 0, 0, 2),
+            PhysicalPageAddress(-1, 0, 0, 0),
+        ]:
+            with pytest.raises(AddressError):
+                geometry.validate(bad)
+
+    def test_pages_per_chip_matches_ppn_layout(self):
+        geometry = NandGeometry(channels=2, chips_per_channel=2,
+                                blocks_per_chip=3, pages_per_block=4)
+        for ppn in range(geometry.total_pages):
+            addr = geometry.address_of(ppn)
+            cid = geometry.chip_id(addr.channel, addr.chip)
+            assert ppn // geometry.pages_per_chip == cid

@@ -1,0 +1,62 @@
+"""Tests for repro.nand.page_types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nand.page_types import (
+    PageType,
+    page_index,
+    paired_index,
+    split_index,
+)
+
+
+class TestPageType:
+    def test_lsb_is_fast(self):
+        assert PageType.LSB.is_fast
+        assert not PageType.MSB.is_fast
+
+    def test_paired_swaps(self):
+        assert PageType.LSB.paired() is PageType.MSB
+        assert PageType.MSB.paired() is PageType.LSB
+
+    def test_int_values_match_index_convention(self):
+        assert int(PageType.LSB) == 0
+        assert int(PageType.MSB) == 1
+
+
+class TestIndexing:
+    def test_page_index_layout(self):
+        assert page_index(0, PageType.LSB) == 0
+        assert page_index(0, PageType.MSB) == 1
+        assert page_index(3, PageType.LSB) == 6
+        assert page_index(3, PageType.MSB) == 7
+
+    def test_split_index_inverse(self):
+        for index in range(64):
+            wordline, ptype = split_index(index)
+            assert page_index(wordline, ptype) == index
+
+    def test_paired_index(self):
+        assert paired_index(0) == 1
+        assert paired_index(1) == 0
+        assert paired_index(6) == 7
+        assert paired_index(7) == 6
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            page_index(-1, PageType.LSB)
+        with pytest.raises(ValueError):
+            split_index(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_paired_is_involution(self, index):
+        assert paired_index(paired_index(index)) == index
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pair_shares_wordline(self, index):
+        wordline, _ = split_index(index)
+        paired_wordline, paired_type = split_index(paired_index(index))
+        assert paired_wordline == wordline
+        assert paired_type is split_index(index)[1].paired()

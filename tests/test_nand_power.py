@@ -1,0 +1,84 @@
+"""Tests for repro.nand.power: sudden power-off injection."""
+
+import pytest
+
+from repro.nand.array import NandArray
+from repro.nand.errors import EccUncorrectableError, PageStateError
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+from repro.nand.page_types import PageType, page_index
+from repro.nand.power import (
+    InFlightProgram,
+    PowerLossInjector,
+    simulate_power_loss_during_msb,
+)
+from repro.nand.sequence import SequenceScheme
+
+
+@pytest.fixture
+def array():
+    geometry = NandGeometry(channels=1, chips_per_channel=1,
+                            blocks_per_chip=2, pages_per_block=8,
+                            page_size=64)
+    return NandArray(geometry, scheme=SequenceScheme.RPS, store_data=True)
+
+
+def lsb(wordline, block=0):
+    return PhysicalPageAddress(0, 0, block, page_index(wordline,
+                                                       PageType.LSB))
+
+
+def msb(wordline, block=0):
+    return PhysicalPageAddress(0, 0, block, page_index(wordline,
+                                                       PageType.MSB))
+
+
+class TestSpoInjection:
+    def test_interrupted_msb_destroys_paired_lsb(self, array):
+        for wordline in range(4):
+            array.program(lsb(wordline), b"data")
+        destroyed = simulate_power_loss_during_msb(array, msb(0))
+        assert destroyed == lsb(0)
+        with pytest.raises(EccUncorrectableError):
+            array.read(lsb(0))
+        # Other LSB pages are unaffected.
+        assert array.read(lsb(1))[0] == b"data"
+
+    def test_msb_page_itself_never_committed(self, array):
+        for wordline in range(4):
+            array.program(lsb(wordline), b"data")
+        simulate_power_loss_during_msb(array, msb(0))
+        with pytest.raises(EccUncorrectableError):
+            array.read(msb(0))
+
+    def test_rejects_lsb_target(self, array):
+        with pytest.raises(PageStateError):
+            simulate_power_loss_during_msb(array, lsb(0))
+
+    def test_rejects_committed_msb(self, array):
+        for wordline in range(4):
+            array.program(lsb(wordline), b"data")
+        array.program(msb(0), b"msb")
+        with pytest.raises(PageStateError):
+            simulate_power_loss_during_msb(array, msb(0))
+
+    def test_rejects_missing_paired_lsb(self, array):
+        with pytest.raises(PageStateError):
+            simulate_power_loss_during_msb(array, msb(0))
+
+
+class TestInjector:
+    def test_injector_handles_mixed_in_flight_ops(self, array):
+        for wordline in range(4):
+            array.program(lsb(wordline), b"data")
+        injector = PowerLossInjector(array)
+        destroyed = injector.fire([
+            InFlightProgram(msb(0), PageType.MSB),
+            # An interrupted LSB program just never commits.
+            InFlightProgram(lsb(4), PageType.LSB),
+        ])
+        assert destroyed == [lsb(0)]
+        assert injector.destroyed == [lsb(0)]
+
+    def test_injector_with_no_in_flight_ops(self, array):
+        injector = PowerLossInjector(array)
+        assert injector.fire([]) == []

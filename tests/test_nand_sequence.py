@@ -1,0 +1,118 @@
+"""Tests for repro.nand.sequence: the constraint checker."""
+
+import pytest
+
+from repro.nand.page_types import PageType, page_index
+from repro.nand.sequence import SequenceScheme, constraint_violations
+
+
+def make_checker(programmed):
+    """Build an ``is_programmed`` predicate from a set of page indices."""
+    return lambda wl, ptype: page_index(wl, ptype) in programmed
+
+
+class TestSchemes:
+    def test_constraint_sets(self):
+        assert SequenceScheme.FPS.constraints == (1, 2, 3, 4)
+        assert SequenceScheme.RPS.constraints == (1, 2, 3)
+        assert SequenceScheme.NONE.constraints == ()
+
+    def test_none_scheme_allows_anything(self):
+        checker = make_checker(set())
+        assert constraint_violations(checker, 8, 5, PageType.MSB,
+                                     SequenceScheme.NONE) == []
+
+
+class TestConstraint1And2:
+    def test_first_lsb_allowed_on_empty_block(self):
+        checker = make_checker(set())
+        assert constraint_violations(checker, 4, 0, PageType.LSB,
+                                     SequenceScheme.RPS) == []
+
+    def test_lsb_requires_previous_lsb(self):
+        checker = make_checker(set())
+        violations = constraint_violations(checker, 4, 1, PageType.LSB,
+                                           SequenceScheme.RPS)
+        assert any("constraint 1" in v for v in violations)
+
+    def test_msb_requires_previous_msb(self):
+        # LSBs 0..3 and MSB pairing satisfied, but MSB(0) missing.
+        programmed = {page_index(w, PageType.LSB) for w in range(4)}
+        checker = make_checker(programmed)
+        violations = constraint_violations(checker, 4, 1, PageType.MSB,
+                                           SequenceScheme.RPS)
+        assert any("constraint 2" in v for v in violations)
+
+
+class TestConstraint3:
+    def test_msb_requires_next_lsb(self):
+        programmed = {page_index(0, PageType.LSB)}
+        checker = make_checker(programmed)
+        violations = constraint_violations(checker, 4, 0, PageType.MSB,
+                                           SequenceScheme.RPS)
+        assert any("constraint 3" in v for v in violations)
+
+    def test_msb_allowed_once_next_lsb_written(self):
+        programmed = {page_index(0, PageType.LSB),
+                      page_index(1, PageType.LSB)}
+        checker = make_checker(programmed)
+        assert constraint_violations(checker, 4, 0, PageType.MSB,
+                                     SequenceScheme.RPS) == []
+
+    def test_last_wordline_msb_has_no_constraint3(self):
+        # All LSBs and MSBs 0..2 written; MSB(3) needs no LSB(4).
+        programmed = {page_index(w, PageType.LSB) for w in range(4)}
+        programmed |= {page_index(w, PageType.MSB) for w in range(3)}
+        checker = make_checker(programmed)
+        assert constraint_violations(checker, 4, 3, PageType.MSB,
+                                     SequenceScheme.RPS) == []
+
+
+class TestConstraint4:
+    def test_fps_blocks_lsb_ahead_of_msb(self):
+        # RPSfull prefix: LSB(0), LSB(1) written; LSB(2) next.
+        programmed = {page_index(0, PageType.LSB),
+                      page_index(1, PageType.LSB)}
+        checker = make_checker(programmed)
+        fps = constraint_violations(checker, 4, 2, PageType.LSB,
+                                    SequenceScheme.FPS)
+        rps = constraint_violations(checker, 4, 2, PageType.LSB,
+                                    SequenceScheme.RPS)
+        assert any("constraint 4" in v for v in fps)
+        assert rps == []
+
+    def test_fps_allows_lsb_after_msb_k_minus_2(self):
+        programmed = {
+            page_index(0, PageType.LSB),
+            page_index(1, PageType.LSB),
+            page_index(0, PageType.MSB),
+        }
+        checker = make_checker(programmed)
+        assert constraint_violations(checker, 4, 2, PageType.LSB,
+                                     SequenceScheme.FPS) == []
+
+
+class TestPairing:
+    def test_msb_requires_own_lsb(self):
+        # Single word line: constraints 1-3 are vacuous, pairing is not.
+        checker = make_checker(set())
+        violations = constraint_violations(checker, 1, 0, PageType.MSB,
+                                           SequenceScheme.RPS)
+        assert any("pairing" in v for v in violations)
+
+    def test_pairing_satisfied(self):
+        programmed = {page_index(0, PageType.LSB)}
+        checker = make_checker(programmed)
+        assert constraint_violations(checker, 1, 0, PageType.MSB,
+                                     SequenceScheme.RPS) == []
+
+
+class TestInputValidation:
+    def test_wordline_out_of_range(self):
+        checker = make_checker(set())
+        with pytest.raises(ValueError):
+            constraint_violations(checker, 4, 4, PageType.LSB,
+                                  SequenceScheme.RPS)
+        with pytest.raises(ValueError):
+            constraint_violations(checker, 4, -1, PageType.LSB,
+                                  SequenceScheme.RPS)

@@ -1,0 +1,39 @@
+"""Tests for repro.nand.timing."""
+
+import pytest
+
+from repro.nand.page_types import PageType
+from repro.nand.timing import PAPER_TIMING, NandTiming
+
+
+class TestTiming:
+    def test_paper_asymmetry_is_4x(self):
+        assert PAPER_TIMING.asymmetry == pytest.approx(4.0)
+
+    def test_paper_latencies(self):
+        assert PAPER_TIMING.t_lsb_prog == pytest.approx(500e-6)
+        assert PAPER_TIMING.t_msb_prog == pytest.approx(2000e-6)
+        assert PAPER_TIMING.t_read == pytest.approx(40e-6)
+
+    def test_program_time_by_type(self):
+        timing = NandTiming()
+        assert timing.program_time(PageType.LSB) == timing.t_lsb_prog
+        assert timing.program_time(PageType.MSB) == timing.t_msb_prog
+
+    def test_effective_times_include_transfer(self):
+        timing = NandTiming()
+        assert timing.effective_program_time(PageType.LSB) == \
+            pytest.approx(timing.t_lsb_prog + timing.t_transfer)
+        assert timing.effective_read_time() == \
+            pytest.approx(timing.t_read + timing.t_transfer)
+
+    @pytest.mark.parametrize("field", [
+        "t_lsb_prog", "t_msb_prog", "t_read", "t_erase", "t_transfer",
+    ])
+    def test_rejects_non_positive_latencies(self, field):
+        with pytest.raises(ValueError):
+            NandTiming(**{field: 0.0})
+
+    def test_custom_asymmetry(self):
+        timing = NandTiming(t_lsb_prog=1e-4, t_msb_prog=8e-4)
+        assert timing.asymmetry == pytest.approx(8.0)

@@ -1,0 +1,130 @@
+"""Tests for the TLC generalisation (repro.nand.tlc)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand.tlc import (
+    TLC_PROGRAM_TIMES,
+    TlcPageType,
+    TlcScheme,
+    fps_tlc_order,
+    is_valid_tlc_order,
+    random_rps_tlc_order,
+    rps_tlc_full_order,
+    tlc_aggressor_counts,
+    tlc_constraint_violations,
+    tlc_max_aggressors,
+    tlc_page_index,
+    tlc_split_index,
+    unconstrained_tlc_order,
+    validate_tlc_order,
+)
+
+WORDLINE_COUNTS = [1, 2, 3, 4, 8, 64]
+
+
+class TestTlcIndexing:
+    def test_page_index_layout(self):
+        assert tlc_page_index(0, TlcPageType.LSB) == 0
+        assert tlc_page_index(0, TlcPageType.CSB) == 1
+        assert tlc_page_index(0, TlcPageType.MSB) == 2
+        assert tlc_page_index(2, TlcPageType.LSB) == 6
+
+    def test_split_is_inverse(self):
+        for index in range(60):
+            wordline, ptype = tlc_split_index(index)
+            assert tlc_page_index(wordline, ptype) == index
+
+    def test_lsb_is_fast_and_cheapest(self):
+        assert TlcPageType.LSB.is_fast
+        assert not TlcPageType.MSB.is_fast
+        assert TLC_PROGRAM_TIMES[TlcPageType.LSB] < \
+            TLC_PROGRAM_TIMES[TlcPageType.CSB] < \
+            TLC_PROGRAM_TIMES[TlcPageType.MSB]
+
+
+class TestTlcOrders:
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_fps_tlc_satisfies_both_schemes(self, n):
+        order = fps_tlc_order(n)
+        assert sorted(order) == list(range(3 * n))
+        assert is_valid_tlc_order(order, n, TlcScheme.FPS)
+        assert is_valid_tlc_order(order, n, TlcScheme.RPS)
+
+    @pytest.mark.parametrize("n", WORDLINE_COUNTS)
+    def test_rps_full_is_rps_legal(self, n):
+        order = rps_tlc_full_order(n)
+        assert is_valid_tlc_order(order, n, TlcScheme.RPS)
+
+    @pytest.mark.parametrize("n", [4, 8, 64])
+    def test_rps_full_violates_fps(self, n):
+        violations = validate_tlc_order(rps_tlc_full_order(n), n,
+                                        TlcScheme.FPS)
+        assert any("over-spec" in v for v in violations)
+
+    def test_fps_order_is_three_deep_stagger(self):
+        order = fps_tlc_order(4)
+        head = order[:6]
+        assert head == [
+            tlc_page_index(0, TlcPageType.LSB),
+            tlc_page_index(1, TlcPageType.LSB),
+            tlc_page_index(0, TlcPageType.CSB),
+            tlc_page_index(2, TlcPageType.LSB),
+            tlc_page_index(1, TlcPageType.CSB),
+            tlc_page_index(0, TlcPageType.MSB),
+        ]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_rps_tlc_orders_legal(self, seed):
+        rng = random.Random(seed)
+        order = random_rps_tlc_order(12, rng)
+        assert is_valid_tlc_order(order, 12, TlcScheme.RPS)
+
+    def test_none_scheme_accepts_shuffles(self):
+        rng = random.Random(1)
+        order = unconstrained_tlc_order(8, rng)
+        assert is_valid_tlc_order(order, 8, TlcScheme.NONE)
+
+    def test_pairing_enforced(self):
+        checker = lambda w, t: False
+        violations = tlc_constraint_violations(checker, 4, 0,
+                                               TlcPageType.MSB,
+                                               TlcScheme.RPS)
+        assert any("pairing" in v for v in violations)
+
+
+class TestTlcInterference:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64])
+    def test_fps_tlc_at_most_one_aggressor(self, n):
+        assert tlc_max_aggressors(fps_tlc_order(n), n) <= 1
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64])
+    def test_rps_full_tlc_at_most_one_aggressor(self, n):
+        assert tlc_max_aggressors(rps_tlc_full_order(n), n) <= 1
+
+    def test_unconstrained_tlc_can_reach_six(self):
+        # WL(1) fully written first, then all six neighbour pages.
+        order = [tlc_page_index(1, t) for t in TlcPageType]
+        order += [tlc_page_index(0, t) for t in TlcPageType]
+        order += [tlc_page_index(2, t) for t in TlcPageType]
+        assert tlc_aggressor_counts(order, 3)[1] == 6
+
+    @given(st.integers(min_value=2, max_value=32), st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_any_rps_tlc_order_at_most_one_aggressor(self, n, seed):
+        """The paper's Section 1 claim, generalised: the RPS property
+        (<= 1 post-program aggressor) carries over to TLC."""
+        rng = random.Random(seed)
+        order = random_rps_tlc_order(n, rng)
+        assert tlc_max_aggressors(order, n) <= 1
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            fps_tlc_order(0)
+        with pytest.raises(ValueError):
+            tlc_page_index(-1, TlcPageType.LSB)
+        violations = validate_tlc_order([0, 0], 1, TlcScheme.RPS)
+        assert any("twice" in v for v in violations)

@@ -1,0 +1,108 @@
+"""Tests for the TLC device model (repro.nand.tlc_device)."""
+
+import pytest
+
+from repro.nand.errors import (
+    EccUncorrectableError,
+    PageStateError,
+    ProgramSequenceError,
+)
+from repro.nand.tlc import (
+    TLC_PROGRAM_TIMES,
+    TlcPageType,
+    TlcScheme,
+    fps_tlc_order,
+    rps_tlc_full_order,
+    tlc_split_index,
+)
+from repro.nand.tlc_device import TlcBlock, TlcChip
+
+
+def program_order(chip, block, order):
+    for index in order:
+        wordline, ptype = tlc_split_index(index)
+        chip.program(block, wordline, ptype)
+
+
+class TestTlcBlock:
+    def test_fresh_block(self):
+        block = TlcBlock(0, wordlines=4)
+        assert block.pages == 12
+        assert block.programmed_count() == 0
+
+    def test_program_and_read_with_data(self):
+        block = TlcBlock(0, wordlines=2, store_data=True)
+        block.program(0, TlcPageType.LSB, b"x")
+        assert block.read(0, TlcPageType.LSB) == b"x"
+
+    def test_double_program_rejected(self):
+        block = TlcBlock(0, wordlines=2)
+        block.program(0, TlcPageType.LSB)
+        with pytest.raises(PageStateError):
+            block.program(0, TlcPageType.LSB)
+
+    def test_read_of_erased_page_raises(self):
+        block = TlcBlock(0, wordlines=2)
+        with pytest.raises(EccUncorrectableError):
+            block.read(1, TlcPageType.CSB)
+
+    def test_erase_resets(self):
+        block = TlcBlock(0, wordlines=2)
+        block.program(0, TlcPageType.LSB)
+        block.erase()
+        assert block.programmed_count() == 0
+        assert block.erase_count == 1
+        assert block.program_history == []
+
+
+class TestTlcChipEnforcement:
+    def test_rps_chip_accepts_three_phase_order(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=4,
+                       scheme=TlcScheme.RPS)
+        program_order(chip, 0, rps_tlc_full_order(4))
+        assert chip.blocks[0].programmed_count() == 12
+
+    def test_fps_chip_rejects_three_phase_order(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=4,
+                       scheme=TlcScheme.FPS)
+        with pytest.raises(ProgramSequenceError):
+            program_order(chip, 0, rps_tlc_full_order(4))
+
+    def test_both_schemes_accept_staggered_order(self):
+        for scheme in (TlcScheme.FPS, TlcScheme.RPS):
+            chip = TlcChip(0, blocks=1, wordlines_per_block=4,
+                           scheme=scheme)
+            program_order(chip, 0, fps_tlc_order(4))
+            assert chip.blocks[0].programmed_count() == 12
+
+    def test_pairing_enforced(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=2,
+                       scheme=TlcScheme.RPS)
+        with pytest.raises(ProgramSequenceError, match="pairing"):
+            chip.program(0, 0, TlcPageType.CSB)
+
+    def test_latencies_by_type(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=1,
+                       scheme=TlcScheme.NONE)
+        for ptype in TlcPageType:
+            assert chip.program(0, 0, ptype) == \
+                TLC_PROGRAM_TIMES[ptype]
+
+    def test_counters(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=2,
+                       scheme=TlcScheme.RPS)
+        program_order(chip, 0, rps_tlc_full_order(2))
+        chip.read(0, 0, TlcPageType.LSB)
+        chip.erase(0)
+        assert chip.total_programs == 6
+        assert chip.programs[TlcPageType.LSB] == 2
+        assert chip.reads == 1
+        assert chip.erases == 1
+
+    def test_erase_allows_reuse(self):
+        chip = TlcChip(0, blocks=1, wordlines_per_block=2,
+                       scheme=TlcScheme.RPS)
+        program_order(chip, 0, rps_tlc_full_order(2))
+        chip.erase(0)
+        program_order(chip, 0, fps_tlc_order(2))
+        assert chip.blocks[0].programmed_count() == 6

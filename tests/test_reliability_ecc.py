@@ -1,0 +1,87 @@
+"""Tests for the ECC capability model and the endurance sweep."""
+
+import pytest
+
+from repro.experiments.endurance import run_endurance_sweep
+from repro.reliability.ecc import (
+    EccConfig,
+    codeword_failure_probability,
+    max_tolerable_ber,
+    page_failure_probability,
+)
+
+
+class TestEccModel:
+    def test_zero_ber_never_fails(self):
+        assert codeword_failure_probability(0.0) == 0.0
+        assert page_failure_probability(0.0) == 0.0
+
+    def test_monotonic_in_ber(self):
+        bers = [1e-5, 1e-4, 1e-3, 1e-2]
+        probabilities = [codeword_failure_probability(b) for b in bers]
+        assert probabilities == sorted(probabilities)
+
+    def test_stronger_code_fails_less(self):
+        weak = EccConfig(correctable_bits=8)
+        strong = EccConfig(correctable_bits=72)
+        ber = 2e-3
+        assert codeword_failure_probability(ber, strong) < \
+            codeword_failure_probability(ber, weak)
+
+    def test_typical_operating_point_is_safe(self):
+        # 40 bits / 1 KB against the Fig. 4(b) median (~4e-4): the
+        # expected 3.3 errors per codeword are deep inside the margin.
+        assert codeword_failure_probability(4e-4) < 1e-15
+
+    def test_overwhelmed_code_fails(self):
+        # 1% raw BER = ~82 errors per 1-KB codeword >> 40 correctable.
+        assert codeword_failure_probability(1e-2) > 0.99
+
+    def test_page_failure_aggregates_codewords(self):
+        ber = 3e-3
+        per_codeword = codeword_failure_probability(ber)
+        per_page = page_failure_probability(ber, page_size=4096)
+        assert per_page >= per_codeword  # 4 codewords per page
+        assert per_page <= 4 * per_codeword + 1e-12
+
+    def test_max_tolerable_ber_is_consistent(self):
+        limit = max_tolerable_ber(target_page_failure=1e-9)
+        assert 1e-4 < limit < 1e-2
+        assert page_failure_probability(limit) <= 1e-9
+        assert page_failure_probability(limit * 1.5) > 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EccConfig(codeword_bytes=0)
+        with pytest.raises(ValueError):
+            EccConfig(correctable_bits=-1)
+        with pytest.raises(ValueError):
+            codeword_failure_probability(1.5)
+        with pytest.raises(ValueError):
+            page_failure_probability(1e-3, page_size=0)
+        with pytest.raises(ValueError):
+            max_tolerable_ber(target_page_failure=0.0)
+
+
+class TestEnduranceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_endurance_sweep(blocks=4, wordlines=12,
+                                   cycles=(0, 2000, 4000), seed=9)
+
+    def test_rps_tracks_fps_exactly(self, sweep):
+        assert sweep.median_ber["RPSfull"] == sweep.median_ber["FPS"]
+        assert sweep.endurance["RPSfull"] == sweep.endurance["FPS"]
+
+    def test_unconstrained_is_worse(self, sweep):
+        fps = sweep.endurance["FPS"]
+        unconstrained = sweep.endurance["unconstrained"]
+        assert fps is not None
+        assert unconstrained is None or unconstrained <= fps
+        assert sweep.median_ber["unconstrained"][-1] > \
+            sweep.median_ber["FPS"][-1]
+
+    def test_render_lists_cycles(self, sweep):
+        text = sweep.render()
+        assert "4000" in text
+        assert "FPS" in text

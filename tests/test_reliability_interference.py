@@ -1,0 +1,101 @@
+"""Tests for repro.reliability.interference: aggressor analysis."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rps import (
+    fps_order,
+    random_rps_order,
+    rps_full_order,
+    rps_half_order,
+    unconstrained_random_order,
+)
+from repro.nand.page_types import PageType, page_index
+from repro.reliability.interference import (
+    aggressor_counts,
+    aggressor_events,
+    interference_exposure,
+    max_aggressors,
+    victim_pages,
+)
+
+
+class TestKnownOrders:
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_fps_has_at_most_one_aggressor(self, n):
+        counts = aggressor_counts(fps_order(n), n)
+        assert max(counts) <= 1
+        # Every word line except the last suffers exactly one.
+        assert counts[:-1] == [1] * (n - 1)
+        assert counts[-1] == 0
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_rps_full_matches_fps_profile(self, n):
+        assert aggressor_counts(rps_full_order(n), n) \
+            == aggressor_counts(fps_order(n), n)
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_rps_half_has_at_most_one_aggressor(self, n):
+        assert max_aggressors(rps_half_order(n), n) <= 1
+
+    def test_fps_aggressor_is_next_msb(self):
+        events = aggressor_events(fps_order(4), 4)
+        assert events[0] == [(1, PageType.MSB)]
+        assert events[1] == [(2, PageType.MSB)]
+        assert events[3] == []
+
+    def test_unconstrained_can_reach_four(self):
+        # Worst case of Figure 2(a): program WL(1) fully first, then
+        # all four neighbours.
+        order = [
+            page_index(1, PageType.LSB), page_index(1, PageType.MSB),
+            page_index(0, PageType.LSB), page_index(0, PageType.MSB),
+            page_index(2, PageType.LSB), page_index(2, PageType.MSB),
+        ]
+        counts = aggressor_counts(order, 3)
+        assert counts[1] == 4
+
+    def test_incomplete_order_skips_unfinished_wordlines(self):
+        # Only LSB pages written: no word line has a final state.
+        order = [page_index(w, PageType.LSB) for w in range(4)]
+        assert aggressor_counts(order, 4) == [0, 0, 0, 0]
+        assert victim_pages(order, 4) == []
+
+
+class TestExposureWeights:
+    def test_equal_weights_match_counts(self):
+        order = fps_order(8)
+        assert interference_exposure(order, 8) == \
+            [float(c) for c in aggressor_counts(order, 8)]
+
+    def test_msb_weight_scales(self):
+        order = fps_order(8)
+        exposures = interference_exposure(order, 8, lsb_weight=1.0,
+                                          msb_weight=0.5)
+        # FPS aggressors are all MSB programs.
+        assert exposures[:-1] == [0.5] * 7
+
+
+class TestRpsNeverWorseProperty:
+    @given(st.integers(min_value=2, max_value=48), st.integers())
+    @settings(max_examples=80, deadline=None)
+    def test_any_rps_order_has_at_most_one_aggressor(self, n, seed):
+        """The paper's core device-level claim, as a property.
+
+        Every step-wise RPS-legal order admits at most one aggressor
+        program per word line — exactly the FPS guarantee, which is
+        why Constraint 4 can be dropped.
+        """
+        rng = random.Random(seed)
+        order = random_rps_order(n, rng)
+        assert max_aggressors(order, n) <= 1
+
+    @given(st.integers(min_value=2, max_value=32), st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_unconstrained_orders_bounded_by_four(self, n, seed):
+        rng = random.Random(seed)
+        order = unconstrained_random_order(n, rng)
+        assert 0 <= max_aggressors(order, n) <= 4

@@ -1,0 +1,173 @@
+"""Tests for repro.reliability vth/ber/montecarlo models."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.ber import (
+    OperatingCondition,
+    StressModel,
+    WORST_CASE,
+    page_bit_error_rate,
+)
+from repro.reliability.montecarlo import (
+    BoxStats,
+    ORDER_FACTORIES,
+    compare_schemes,
+    run_reliability_experiment,
+)
+from repro.reliability.vth import (
+    GRAY_CODE,
+    MlcVthModel,
+    bit_errors,
+    read_states,
+    simulate_page_vth,
+)
+
+
+class TestVthModel:
+    def test_default_model_is_consistent(self):
+        model = MlcVthModel()
+        assert len(model.state_centers) == 4
+        assert len(model.read_refs) == 3
+        # refs interleave the state centres
+        for i, ref in enumerate(model.read_refs):
+            assert model.state_centers[i] < ref < model.state_centers[i + 1]
+
+    def test_invalid_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            MlcVthModel(coupling_ratio=0.0)
+        with pytest.raises(ValueError):
+            MlcVthModel(coupling_ratio=1.5)
+
+    def test_fresh_page_reads_back_clean(self):
+        rng = np.random.default_rng(0)
+        sample = simulate_page_vth(0, rng=rng)
+        assert bit_errors(sample) == 0
+
+    def test_aggressors_widen_distributions(self):
+        rng = np.random.default_rng(1)
+        quiet = simulate_page_vth(0, rng=rng).total_width()
+        rng = np.random.default_rng(1)
+        noisy = simulate_page_vth(4, rng=rng).total_width()
+        assert noisy > quiet
+
+    def test_aggressors_shift_right(self):
+        rng = np.random.default_rng(2)
+        base = simulate_page_vth(0, rng=rng)
+        rng = np.random.default_rng(2)
+        shifted = simulate_page_vth(3, rng=rng)
+        assert shifted.vth.mean() > base.vth.mean()
+
+    def test_state_widths_cover_all_states(self):
+        rng = np.random.default_rng(3)
+        sample = simulate_page_vth(1, rng=rng)
+        widths = sample.state_widths()
+        assert len(widths) == 4
+        assert all(w > 0 for w in widths)
+        # the erased state is intrinsically wider than programmed ones
+        assert widths[0] > widths[1]
+
+    def test_gray_code_adjacent_states_differ_by_one_bit(self):
+        for a, b in zip(GRAY_CODE, GRAY_CODE[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_read_states_uses_refs(self):
+        rng = np.random.default_rng(4)
+        sample = simulate_page_vth(0, rng=rng)
+        observed = read_states(sample)
+        assert (observed == sample.states).mean() > 0.999
+
+
+class TestStress:
+    def test_worst_case_condition(self):
+        assert WORST_CASE.pe_cycles == 3000
+        assert WORST_CASE.retention_hours == pytest.approx(24 * 365)
+
+    def test_negative_condition_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingCondition(pe_cycles=-1)
+        with pytest.raises(ValueError):
+            OperatingCondition(retention_hours=-1.0)
+
+    def test_cycling_adds_noise(self):
+        stress = StressModel()
+        assert stress.extra_sigma(WORST_CASE) > 0
+        assert stress.extra_sigma(OperatingCondition()) == 0
+
+    def test_retention_shifts_down(self):
+        stress = StressModel()
+        assert stress.retention_shift(WORST_CASE) < 0
+        assert stress.retention_shift(OperatingCondition()) == 0.0
+
+    def test_cycling_amplifies_retention(self):
+        stress = StressModel()
+        mild = stress.retention_shift(
+            OperatingCondition(0, 24 * 365))
+        harsh = stress.retention_shift(
+            OperatingCondition(3000, 24 * 365))
+        assert harsh < mild < 0
+
+    def test_stress_raises_ber(self):
+        rng = np.random.default_rng(5)
+        fresh = page_bit_error_rate(
+            1, OperatingCondition(), rng=rng)
+        rng = np.random.default_rng(5)
+        stressed = page_bit_error_rate(1, WORST_CASE, rng=rng)
+        assert stressed >= fresh
+
+
+class TestMonteCarlo:
+    def test_boxstats_from_samples(self):
+        stats = BoxStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.mean == 3.0
+
+    def test_boxstats_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_samples([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            run_reliability_experiment("bogus")
+
+    def test_population_size(self):
+        result = run_reliability_experiment("FPS", blocks=4, wordlines=8)
+        assert len(result.wpi_samples) == 4 * 8
+        assert len(result.ber_samples) == 4 * 8
+
+    def test_experiment_is_deterministic(self):
+        a = run_reliability_experiment("RPSfull", blocks=3, wordlines=8,
+                                       seed=7)
+        b = run_reliability_experiment("RPSfull", blocks=3, wordlines=8,
+                                       seed=7)
+        assert np.array_equal(a.wpi_samples, b.wpi_samples)
+        assert np.array_equal(a.ber_samples, b.ber_samples)
+
+    def test_figure4_shape(self):
+        """The headline reliability result at a reduced population."""
+        results = compare_schemes(
+            schemes=("FPS", "RPSfull", "RPShalf", "unconstrained"),
+            blocks=10, wordlines=16, seed=11,
+        )
+        fps = results["FPS"]
+        for scheme in ("RPSfull", "RPShalf"):
+            rps = results[scheme]
+            assert rps.wpi.median <= fps.wpi.median * 1.02
+            assert rps.ber.median <= fps.ber.median * 1.02 + 1e-5
+        unconstrained = results["unconstrained"]
+        assert unconstrained.wpi.median > fps.wpi.median
+        assert unconstrained.ber.median > fps.ber.median
+
+    def test_aggressor_histograms(self):
+        results = compare_schemes(schemes=("FPS", "unconstrained"),
+                                  blocks=5, wordlines=16, seed=3)
+        assert set(results["FPS"].aggressor_histogram) <= {0, 1}
+        assert max(results["unconstrained"].aggressor_histogram) > 1
+
+    def test_all_registered_factories_run(self):
+        for scheme in ORDER_FACTORIES:
+            result = run_reliability_experiment(scheme, blocks=1,
+                                                wordlines=4)
+            assert len(result.wpi_samples) > 0

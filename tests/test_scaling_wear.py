@@ -1,0 +1,71 @@
+"""Tests for the scaling study and wear-aware allocation."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scaling import run_scaling_study
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.metrics.lifetime import wear_spread
+from repro.nand.geometry import NandGeometry
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind
+
+from tests.helpers import build_small_system
+
+
+class TestScalingStudy:
+    def test_iops_grow_with_chips(self):
+        config = ExperimentConfig(
+            geometry=NandGeometry(channels=1, chips_per_channel=2,
+                                  blocks_per_chip=24,
+                                  pages_per_block=16, page_size=2048),
+            buffer_pages=64,
+        )
+        result = run_scaling_study(channel_counts=(1, 2),
+                                   ops_per_chip=300,
+                                   base_config=config)
+        iops = result.iops_by_chips()
+        chips = sorted(iops)
+        assert iops[chips[1]] > iops[chips[0]]
+
+    def test_render(self):
+        config = ExperimentConfig(
+            geometry=NandGeometry(channels=1, chips_per_channel=1,
+                                  blocks_per_chip=16,
+                                  pages_per_block=16, page_size=2048),
+            buffer_pages=32,
+        )
+        result = run_scaling_study(channel_counts=(1,),
+                                   ops_per_chip=200,
+                                   base_config=config)
+        assert "efficiency" in result.render()
+
+
+class TestWearAwareAllocation:
+    def run_hot_workload(self, wear_aware, small_geometry):
+        config = FtlConfig(wear_aware_allocation=wear_aware)
+        system = build_small_system(PageFtl, small_geometry,
+                                    buffer_pages=32,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        span = ftl.logical_pages // 2
+        # hammer a tiny hot set so GC churns specific blocks
+        ops = [StreamOp(RequestKind.WRITE, i % span, 1)
+               for i in range(span)]
+        ops += [StreamOp(RequestKind.WRITE, i % 16, 1)
+                for i in range(6 * span)]
+        host = ClosedLoopHost(sim, controller, [ops])
+        host.start()
+        sim.run()
+        return array
+
+    def test_wear_aware_reduces_spread(self, small_geometry):
+        fifo = wear_spread(self.run_hot_workload(False, small_geometry))
+        aware = wear_spread(self.run_hot_workload(True, small_geometry))
+        assert aware["stdev"] <= fifo["stdev"] + 0.25
+        assert aware["max"] <= fifo["max"] + 1
+
+    def test_wear_aware_still_completes(self, small_geometry):
+        array = self.run_hot_workload(True, small_geometry)
+        assert array.total_erases > 0

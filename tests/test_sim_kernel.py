@@ -1,0 +1,107 @@
+"""Tests for repro.sim.kernel: the DES event loop."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.3, fired.append, "c")
+        sim.schedule(0.1, fired.append, "a")
+        sim.schedule(0.2, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_fifo(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "second", priority=1)
+        sim.schedule(0.1, fired.append, "third", priority=1)
+        sim.schedule(0.1, fired.append, "first", priority=0)
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+        assert sim.now == 0.5
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(0.1, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == pytest.approx(0.3)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.1, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == pytest.approx(0.2)
+
+
+class TestRunControls:
+    def test_run_until_stops_the_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, fired.append, "early")
+        sim.schedule(1.0, fired.append, "late")
+        sim.run(until=0.5)
+        assert fired == ["early"]
+        assert sim.now == 0.5
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_max_events_backstop(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        sim.run(max_events=25)
+        assert sim.processed == 25
+
+    def test_step_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.processed == 5

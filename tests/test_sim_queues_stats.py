@@ -1,0 +1,148 @@
+"""Tests for repro.sim.queues and repro.sim.stats."""
+
+import pytest
+
+from repro.sim.queues import Request, RequestKind, WriteBuffer
+from repro.sim.stats import SimStats, WindowedBandwidth
+
+
+class TestRequest:
+    def test_pages_remaining_initialised(self):
+        request = Request(0.0, RequestKind.WRITE, 10, 4)
+        assert request.pages_remaining == 4
+
+    def test_latency_before_completion_is_none(self):
+        request = Request(1.0, RequestKind.READ, 0)
+        assert request.latency is None
+        request.completed_at = 1.5
+        assert request.latency == pytest.approx(0.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Request(0.0, RequestKind.WRITE, 0, 0)
+        with pytest.raises(ValueError):
+            Request(0.0, RequestKind.WRITE, -1, 1)
+
+
+class TestWriteBuffer:
+    def test_fifo_order(self):
+        buffer = WriteBuffer(4)
+        buffer.push(1, 0.0)
+        buffer.push(2, 0.1)
+        assert buffer.pop().lpn == 1
+        assert buffer.pop().lpn == 2
+
+    def test_capacity_enforced(self):
+        buffer = WriteBuffer(2)
+        buffer.push(1, 0.0)
+        buffer.push(2, 0.0)
+        assert buffer.is_full
+        with pytest.raises(OverflowError):
+            buffer.push(3, 0.0)
+
+    def test_utilization(self):
+        buffer = WriteBuffer(4)
+        assert buffer.utilization == 0.0
+        buffer.push(1, 0.0)
+        assert buffer.utilization == pytest.approx(0.25)
+        buffer.push(2, 0.0)
+        assert buffer.utilization == pytest.approx(0.5)
+
+    def test_residency_tracking_with_duplicates(self):
+        buffer = WriteBuffer(4)
+        buffer.push(7, 0.0)
+        buffer.push(7, 0.1)
+        assert buffer.contains(7)
+        buffer.pop()
+        assert buffer.contains(7)  # second copy still resident
+        buffer.pop()
+        assert not buffer.contains(7)
+
+    def test_pop_empty_raises(self):
+        buffer = WriteBuffer(2)
+        with pytest.raises(IndexError):
+            buffer.pop()
+        with pytest.raises(IndexError):
+            buffer.peek()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+
+class TestWindowedBandwidth:
+    def test_single_window_bandwidth(self):
+        tracker = WindowedBandwidth(window=0.1)
+        tracker.record(0.00, 4096)
+        tracker.record(0.05, 4096)
+        samples = tracker.samples_mbps()
+        assert len(samples) == 1
+        assert samples[0] == pytest.approx(2 * 4096 / 0.1 / 1e6)
+
+    def test_idle_windows_are_skipped(self):
+        tracker = WindowedBandwidth(window=0.1)
+        tracker.record(0.0, 4096)
+        tracker.record(10.0, 4096)
+        assert len(tracker.samples_mbps()) == 2
+
+    def test_cdf_is_monotonic(self):
+        tracker = WindowedBandwidth(window=0.1)
+        for i in range(10):
+            tracker.record(i * 0.1, (i + 1) * 4096)
+        values, fractions = tracker.cdf()
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_percentile(self):
+        tracker = WindowedBandwidth(window=1.0)
+        for i in range(100):
+            tracker.record(float(i), (i + 1) * 1_000_000)
+        assert tracker.percentile(0.0) == pytest.approx(1.0)
+        assert tracker.percentile(1.0) == pytest.approx(100.0)
+        assert tracker.percentile(0.5) > tracker.percentile(0.25)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            WindowedBandwidth().percentile(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedBandwidth(window=0.0)
+
+
+class TestSimStats:
+    def test_iops_counts_requests_over_makespan(self):
+        stats = SimStats()
+        first = Request(0.0, RequestKind.WRITE, 0)
+        second = Request(0.5, RequestKind.READ, 1)
+        stats.note_arrival(first)
+        stats.note_arrival(second)
+        stats.note_request_complete(first, 0.5)
+        stats.note_request_complete(second, 2.0)
+        assert stats.completed_requests == 2
+        assert stats.elapsed == pytest.approx(2.0)
+        assert stats.iops() == pytest.approx(1.0)
+
+    def test_latencies_split_by_kind(self):
+        stats = SimStats()
+        write = Request(0.0, RequestKind.WRITE, 0)
+        read = Request(0.0, RequestKind.READ, 0)
+        stats.note_arrival(write)
+        stats.note_arrival(read)
+        stats.note_request_complete(write, 0.25)
+        stats.note_request_complete(read, 0.5)
+        assert stats.mean_latency(RequestKind.WRITE) == pytest.approx(0.25)
+        assert stats.mean_latency(RequestKind.READ) == pytest.approx(0.5)
+
+    def test_empty_stats(self):
+        stats = SimStats()
+        assert stats.iops() == 0.0
+        assert stats.elapsed == 0.0
+        assert stats.mean_latency(RequestKind.READ) == 0.0
+
+    def test_page_writes_feed_bandwidth(self):
+        stats = SimStats(page_size=4096, bandwidth_window=0.1)
+        stats.note_host_page_write(0.0)
+        stats.note_host_page_write(0.01)
+        assert stats.written_pages == 2
+        assert len(stats.write_bandwidth.samples_mbps()) == 1

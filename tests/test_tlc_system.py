@@ -1,0 +1,159 @@
+"""Tests for the TLC array, FTLs and system experiment."""
+
+import pytest
+
+from repro.core.tlc_ftl import (
+    ThreePhaseBlockManager,
+    TlcFlexFtl,
+    TlcPageFtl,
+)
+from repro.experiments.tlc_system import (
+    build_tlc_system,
+    render_tlc_comparison,
+    run_tlc_workload,
+)
+from repro.ftl.base import FtlConfig
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.tlc import TlcPageType, TlcScheme
+from repro.nand.tlc_array import TlcGeometry, TlcNandArray
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind, WriteBuffer
+
+SMALL_TLC = TlcGeometry(channels=2, chips_per_channel=1,
+                        blocks_per_chip=16, pages_per_block=12,
+                        page_size=512)
+
+
+class TestTlcGeometry:
+    def test_wordlines_are_a_third(self):
+        assert SMALL_TLC.wordlines_per_block == 4
+
+    def test_requires_multiple_of_six(self):
+        with pytest.raises(ValueError):
+            TlcGeometry(channels=1, chips_per_channel=1,
+                        blocks_per_chip=4, pages_per_block=8)
+
+    def test_address_codec_still_works(self):
+        for ppn in range(SMALL_TLC.total_pages):
+            assert SMALL_TLC.ppn(SMALL_TLC.address_of(ppn)) == ppn
+
+
+class TestTlcArray:
+    def test_program_counts_by_type(self):
+        array = TlcNandArray(SMALL_TLC, scheme=TlcScheme.RPS)
+        array.program(PhysicalPageAddress(0, 0, 0, 0))  # LSB(0)
+        array.program(PhysicalPageAddress(0, 0, 0, 3))  # LSB(1)
+        array.program(PhysicalPageAddress(0, 0, 0, 6))  # LSB(2)
+        array.program(PhysicalPageAddress(0, 0, 0, 1))  # CSB(0)
+        assert array.lsb_programs == 3
+        assert array.csb_programs == 1
+        assert array.msb_programs == 0
+
+    def test_program_latency_by_type(self):
+        array = TlcNandArray(SMALL_TLC, scheme=TlcScheme.RPS)
+        lsb = array.program(PhysicalPageAddress(0, 0, 0, 0))
+        array.program(PhysicalPageAddress(0, 0, 0, 3))
+        csb = array.program(PhysicalPageAddress(0, 0, 0, 1))
+        assert lsb == pytest.approx(500e-6)
+        assert csb == pytest.approx(2000e-6)
+
+    def test_erase_and_is_programmed(self):
+        array = TlcNandArray(SMALL_TLC, scheme=TlcScheme.RPS)
+        addr = PhysicalPageAddress(0, 0, 0, 0)
+        assert not array.is_programmed(addr)
+        array.program(addr)
+        assert array.is_programmed(addr)
+        assert array.erase(0, 0, 0) == pytest.approx(10e-3)
+        assert not array.is_programmed(addr)
+
+
+class TestThreePhaseManager:
+    def test_phase_transitions(self):
+        manager = ThreePhaseBlockManager(wordlines=2)
+        manager.install_fast_block(5)
+        assert manager.take(TlcPageType.CSB) is None
+        manager.take(TlcPageType.LSB)
+        block, wordline, full = manager.take(TlcPageType.LSB)
+        assert (block, wordline, full) == (5, 1, False)
+        # LSB phase done: CSB available now.
+        assert manager.available(TlcPageType.CSB)
+        manager.take(TlcPageType.CSB)
+        manager.take(TlcPageType.CSB)
+        assert manager.available(TlcPageType.MSB)
+        manager.take(TlcPageType.MSB)
+        block, wordline, full = manager.take(TlcPageType.MSB)
+        assert full
+        assert not manager.available(TlcPageType.MSB)
+
+    def test_double_install_rejected(self):
+        manager = ThreePhaseBlockManager(wordlines=2)
+        manager.install_fast_block(1)
+        with pytest.raises(RuntimeError):
+            manager.install_fast_block(2)
+
+
+class TestTlcFtls:
+    def run_writes(self, ftl_name, count, span=None):
+        sim, array, buffer, ftl, controller = build_tlc_system(
+            ftl_name, geometry=SMALL_TLC, buffer_pages=16)
+        span = span or ftl.logical_pages
+        ops = [StreamOp(RequestKind.WRITE, (i * 3) % span, 1)
+               for i in range(count)]
+        host = ClosedLoopHost(sim, controller, [ops])
+        host.start()
+        sim.run()
+        return array, ftl, controller.stats
+
+    def test_baseline_walks_mixed_types(self):
+        array, ftl, stats = self.run_writes("tlc-pageFTL", 60)
+        assert stats.completed_writes == 60
+        assert array.lsb_programs > 0
+        assert array.csb_programs > 0
+        assert array.msb_programs > 0
+
+    def test_flex_blocks_are_three_phase(self):
+        array, ftl, stats = self.run_writes("tlc-flexFTL", 120)
+        for chip in array.chips:
+            for block in chip.blocks:
+                history = block.program_history
+                if len(history) < 2:
+                    continue
+                phases = [index % 3 for index in history]
+                # within a block, phases never decrease (LSB run, then
+                # CSB run, then MSB run)
+                assert phases == sorted(phases)
+
+    def test_flex_rejects_fps_array(self):
+        array = TlcNandArray(SMALL_TLC, scheme=TlcScheme.FPS)
+        with pytest.raises(ValueError):
+            TlcFlexFtl(array, WriteBuffer(8))
+
+    def test_sustained_overwrites_gc_without_deadlock(self):
+        for name in ("tlc-pageFTL", "tlc-flexFTL"):
+            array, ftl, stats = self.run_writes(name, 800, span=80)
+            assert stats.completed_writes == 800
+            assert array.total_erases > 0
+
+    def test_quota_accounting(self):
+        sim, array, buffer, ftl, controller = build_tlc_system(
+            "tlc-flexFTL", geometry=SMALL_TLC)
+        start = ftl.quota
+        ftl._note_program(TlcPageType.LSB)
+        assert ftl.quota == start - 2
+        ftl._note_program(TlcPageType.CSB)
+        ftl._note_program(TlcPageType.MSB)
+        assert ftl.quota == start
+        assert ftl.counters()["quota"] == ftl.quota
+
+
+class TestTlcSystemExperiment:
+    def test_run_and_render(self):
+        result = run_tlc_workload("tlc-flexFTL", total_ops=600,
+                                  geometry=SMALL_TLC)
+        assert result.stats.completed_requests > 0
+        text = render_tlc_comparison({"tlc-flexFTL": result})
+        assert "tlc-flexFTL" in text
+
+    def test_unknown_ftl_rejected(self):
+        with pytest.raises(KeyError):
+            build_tlc_system("tlc-nope")

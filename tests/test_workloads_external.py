@@ -1,0 +1,111 @@
+"""Tests for external block-trace import (repro.workloads.external)."""
+
+import pytest
+
+from repro.sim.queues import RequestKind
+from repro.workloads.external import fit_trace, load_msr_trace
+
+
+def write_csv(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestMsrLoader:
+    def test_basic_parse(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "10000000,host,0,Write,8192,4096,123",
+            "20000000,host,0,Read,0,8192,77",
+        ])
+        requests = load_msr_trace(path, page_size=4096)
+        assert len(requests) == 2
+        first, second = requests
+        assert first.time == pytest.approx(0.0)  # rebased
+        assert first.kind is RequestKind.WRITE
+        assert first.lpn == 2
+        assert first.npages == 1
+        assert second.time == pytest.approx(1.0)  # 10M ticks = 1 s
+        assert second.kind is RequestKind.READ
+        assert second.npages == 2
+
+    def test_unaligned_requests_page_rounded(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,1000,5000,0",  # bytes 1000..5999 -> pages 0-1
+        ])
+        requests = load_msr_trace(path, page_size=4096)
+        assert requests[0].lpn == 0
+        assert requests[0].npages == 2
+
+    def test_zero_size_records_skipped(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,0,0,0",
+            "1,h,0,Write,0,4096,0",
+        ])
+        assert len(load_msr_trace(path)) == 1
+
+    def test_max_requests(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            f"{i},h,0,Write,0,4096,0" for i in range(10)
+        ])
+        assert len(load_msr_trace(path, max_requests=3)) == 3
+
+    def test_malformed_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["1,2,3"])
+        with pytest.raises(ValueError):
+            load_msr_trace(path)
+        path = write_csv(tmp_path / "t.csv", ["0,h,0,Erase,0,4096,0"])
+        with pytest.raises(ValueError):
+            load_msr_trace(path)
+
+    def test_output_time_sorted(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "30000000,h,0,Write,0,4096,0",
+            "10000000,h,0,Write,4096,4096,0",
+        ])
+        requests = load_msr_trace(path)
+        times = [request.time for request in requests]
+        assert times == sorted(times)
+
+
+class TestFitTrace:
+    def test_addresses_folded_into_logical_space(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,0,4096,0",
+            "1,h,0,Write,999999999488,4096,0",
+        ])
+        requests = load_msr_trace(path)
+        fitted = fit_trace(requests, logical_pages=1000)
+        assert all(r.lpn < 1000 for r in fitted)
+        assert all(r.lpn + r.npages <= 1000 for r in fitted)
+
+    def test_lengths_clipped(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,0,1048576,0",  # 256 pages
+        ])
+        requests = load_msr_trace(path)
+        fitted = fit_trace(requests, logical_pages=10_000, max_npages=16)
+        assert fitted[0].npages == 16
+
+    def test_time_scaling(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,0,4096,0",
+            "100000000,h,0,Write,0,4096,0",  # +10 s
+        ])
+        requests = load_msr_trace(path)
+        fitted = fit_trace(requests, logical_pages=100, time_scale=0.1)
+        assert fitted[1].time == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_trace([], logical_pages=0)
+        with pytest.raises(ValueError):
+            fit_trace([], logical_pages=10, time_scale=0.0)
+
+    def test_input_not_mutated(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", [
+            "0,h,0,Write,999999995904,4096,0",
+        ])
+        requests = load_msr_trace(path)
+        original_lpn = requests[0].lpn
+        fit_trace(requests, logical_pages=100)
+        assert requests[0].lpn == original_lpn
