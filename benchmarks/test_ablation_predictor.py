@@ -26,11 +26,13 @@ def test_ablation_future_write_predictor(benchmark, save_report):
     streams = build_workload("Varmail", span, total_ops=14400, seed=1)
 
     def run_both():
-        base = run_workload("flexFTL", streams, config)
+        base = run_workload(ftl_name="flexFTL", streams=streams,
+                            config=config)
         with_predictor = run_workload(
-            "flexFTL", streams,
-            dataclasses.replace(config, flex_use_predictor=True))
-        reference = run_workload("pageFTL", streams, config)
+            ftl_name="flexFTL", streams=streams,
+            config=dataclasses.replace(config, flex_use_predictor=True))
+        reference = run_workload(ftl_name="pageFTL", streams=streams,
+                                 config=config)
         return base, with_predictor, reference
 
     base, with_predictor, reference = benchmark.pedantic(

@@ -23,7 +23,8 @@ def test_related_work_slc_mode(benchmark, save_report):
 
     def run_all():
         return {
-            name: run_workload(name, streams, BENCH_CONFIG)
+            name: run_workload(ftl_name=name, streams=streams,
+                               config=BENCH_CONFIG)
             for name in ("pageFTL", "flexFTL", "slcFTL")
         }
 

@@ -2,8 +2,9 @@
 """Compare the four FTLs on one workload (a slice of Figure 8).
 
 Runs pageFTL, parityFTL, rtfFTL and flexFTL on the same generated
-workload and prints raw + normalised IOPS, erasures and peak write
-bandwidth — the per-workload column of Figures 8(a) and 8(b).
+workload — fanned out across processes by the experiment engine — and
+prints raw + normalised IOPS, erasures and peak write bandwidth — the
+per-workload column of Figures 8(a) and 8(b).
 
 Usage::
 
@@ -16,9 +17,11 @@ Fileserver (default: Fileserver).
 import sys
 
 from repro.experiments import (
+    EngineOptions,
     ExperimentConfig,
     experiment_span,
-    run_workload,
+    run_cells,
+    workload_cell,
 )
 from repro.experiments.fig8 import FTLS
 from repro.metrics.report import render_table
@@ -39,10 +42,12 @@ def main() -> None:
     print(f"workload: {workload} (R:W {profile.read_write_ratio}, "
           f"{profile.intensiveness} intensity)")
 
-    results = {}
-    for ftl in FTLS:
-        print(f"  running {ftl} ...")
-        results[ftl] = run_workload(ftl, streams, config)
+    print(f"  running {', '.join(FTLS)} in parallel ...")
+    cells = [workload_cell(ftl, streams, config, label=ftl)
+             for ftl in FTLS]
+    outcomes = run_cells(cells, options=EngineOptions(jobs=4),
+                         label="ftl_comparison")
+    results = dict(zip(FTLS, outcomes))
 
     base = results["pageFTL"]
     rows = []

@@ -33,7 +33,8 @@ def main() -> None:
     print(f"workload: Varmail, {sum(len(s) for s in streams)} ops over "
           f"{len(streams)} streams, footprint {span} pages")
 
-    result = run_workload("flexFTL", streams, config)
+    result = run_workload(ftl_name="flexFTL", streams=streams,
+                          config=config)
     lifetime = erasure_summary(result.counters)
     bandwidth = result.stats.write_bandwidth
 

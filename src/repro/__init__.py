@@ -28,7 +28,8 @@ Quick start::
     config = ExperimentConfig()
     span = experiment_span(config)
     streams = build_workload("Varmail", span, total_ops=4000)
-    result = run_workload("flexFTL", streams, config)
+    result = run_workload(ftl_name="flexFTL", streams=streams,
+                          config=config)
     print(result.iops, result.erases)
 """
 

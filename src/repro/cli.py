@@ -5,194 +5,80 @@
     python -m repro table1
     python -m repro fig4 --blocks 30 --wordlines 32
     python -m repro fig8 --workloads Varmail,NTRX --scale 0.5
+    python -m repro fig8 --jobs 4            # parallel across processes
+    python -m repro fig8 --json              # machine-readable output
     python -m repro recovery
     python -m repro ablation quota
     python -m repro tlc
     python -m repro run --workload Fileserver --ftl flexFTL --ops 8000
+
+Dispatch is table-driven: every experiment module registers an
+:class:`~repro.experiments.registry.Experiment` (name, argparse spec,
+run, render) in the :data:`~repro.experiments.registry
+.EXPERIMENT_REGISTRY`, and this module is a single loop over the
+table.  Three global flags apply to every command:
+
+* ``--jobs N`` — fan grid-shaped experiments out over N worker
+  processes (results are byte-identical to a serial run);
+* ``--no-cache`` — bypass the content-addressed result cache under
+  ``~/.cache/repro-rps/`` (``$REPRO_CACHE_DIR`` overrides the
+  location);
+* ``--json`` — print the experiment's JSON projection instead of the
+  text report.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import functools
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.experiments.ablation import (
-    render_ablation,
-    run_parity_ablation,
-    run_quota_ablation,
-    run_threshold_ablation,
-)
-from repro.experiments.fig4 import run_fig4
-from repro.experiments.fig8 import run_fig8
-from repro.experiments.recovery import (
-    reboot_overhead_report,
-    run_spo_recovery,
-)
-from repro.experiments.runner import (
-    ExperimentConfig,
-    FTL_REGISTRY,
-    experiment_span,
-    run_workload,
-)
-from repro.experiments.table1 import render_table1, run_table1
-from repro.metrics.report import render_table
-from repro.workloads.benchmarks import PROFILES, build_workload
+from repro.experiments import registry
+from repro.experiments.engine import EngineOptions, ResultCache
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    characteristics = run_table1(total_ops=args.ops, seed=args.seed)
-    print("Table 1: I/O characteristics of the five workloads")
-    print(render_table1(characteristics))
-    return 0
-
-
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    result = run_fig4(blocks=args.blocks, wordlines=args.wordlines,
-                      seed=args.seed)
-    print(result.render())
-    return 0 if result.rps_matches_fps() else 1
-
-
-def _cmd_fig8(args: argparse.Namespace) -> int:
-    workloads = (args.workloads.split(",") if args.workloads
-                 else None)
-    result = run_fig8(workloads=workloads, scale=args.scale,
-                      utilization=args.utilization, seed=args.seed)
-    print(result.render())
-    return 0
-
-
-def _cmd_recovery(args: argparse.Namespace) -> int:
-    scenario = run_spo_recovery(wordlines=args.wordlines,
-                                page_size=4096, seed=args.seed)
-    print(reboot_overhead_report())
-    print()
-    print(f"end-to-end power-loss scenario: lost word line "
-          f"{scenario.lost_wordline}, recovered={scenario.success}")
-    return 0 if scenario.success else 1
-
-
-def _cmd_ablation(args: argparse.Namespace) -> int:
-    if args.which == "quota":
-        print(render_ablation(run_quota_ablation(seed=args.seed)))
-    elif args.which == "thresholds":
-        print(render_ablation(run_threshold_ablation(seed=args.seed)))
-    elif args.which == "parity":
-        points = run_parity_ablation(seed=args.seed)
-        print(render_ablation(list(points.values())))
-    elif args.which == "gc":
-        from repro.experiments.ablation import run_gc_policy_ablation
-        print(render_ablation(run_gc_policy_ablation(seed=args.seed)))
-    else:  # pragma: no cover - argparse restricts choices
-        raise AssertionError(args.which)
-    return 0
-
-
-def _cmd_endurance(args: argparse.Namespace) -> int:
-    from repro.experiments.endurance import run_endurance_sweep
-    result = run_endurance_sweep(blocks=args.blocks,
-                                 wordlines=args.wordlines,
-                                 seed=args.seed)
-    print(result.render())
-    return 0
-
-
-def _cmd_scaling(args: argparse.Namespace) -> int:
-    from repro.experiments.scaling import run_scaling_study
-    result = run_scaling_study(ops_per_chip=args.ops_per_chip,
-                               seed=args.seed)
-    print(result.render())
-    return 0
-
-
-def _cmd_latency(args: argparse.Namespace) -> int:
-    from repro.experiments.latency import (
-        render_read_latency,
-        run_read_latency_comparison,
-    )
-    results = run_read_latency_comparison(workload=args.workload,
-                                          total_ops=args.ops,
-                                          seed=args.seed)
-    print(f"read latency percentiles on {args.workload} [ms]:")
-    print(render_read_latency(results))
-    return 0
-
-
-def _cmd_tlc(args: argparse.Namespace) -> int:
-    if args.mode == "burst":
-        from repro.experiments.tlc_burst import (
-            render_tlc_burst,
-            run_tlc_burst_experiment,
-        )
-        print(render_tlc_burst(run_tlc_burst_experiment(
-            wordlines=args.wordlines,
-            burst_pages=max(1, args.wordlines * 3 // 4))))
-        return 0
-    if args.mode == "system":
-        from repro.experiments.tlc_system import (
-            render_tlc_comparison,
-            run_tlc_system_comparison,
-        )
-        results = run_tlc_system_comparison(seed=args.seed)
-        print(render_tlc_comparison(results))
-        return 0
-    from repro.nand.tlc import (
-        TlcScheme,
-        fps_tlc_order,
-        is_valid_tlc_order,
-        random_rps_tlc_order,
-        rps_tlc_full_order,
-        tlc_max_aggressors,
-        unconstrained_tlc_order,
+def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    return EngineOptions(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+        progress=sys.stderr.isatty(),
     )
 
-    n = args.wordlines
-    rng = random.Random(args.seed)
-    orders = {
-        "FPS-TLC": fps_tlc_order(n),
-        "RPS-TLC full": rps_tlc_full_order(n),
-        "RPS-TLC random": random_rps_tlc_order(n, rng),
-        "unconstrained": unconstrained_tlc_order(n, rng),
-    }
-    rows = [[name, tlc_max_aggressors(order, n),
-             "yes" if is_valid_tlc_order(order, n, TlcScheme.RPS)
-             else "no"]
-            for name, order in orders.items()]
-    print(f"TLC generalisation ({n} word lines, {3 * n} pages):")
-    print(render_table(["order", "max aggressors", "RPS-legal"], rows))
-    return 0
+
+def _dispatch(experiment: registry.Experiment,
+              args: argparse.Namespace) -> int:
+    try:
+        result = experiment.run(args, _engine_options(args))
+    except registry.CliError as error:
+        print(str(error), file=sys.stderr)
+        return error.code
+    if args.json:
+        if experiment.to_dict is not None:
+            payload = experiment.to_dict(result)
+        else:
+            payload = {"report": experiment.render(result)}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(experiment.render(result))
+    return experiment.exit_code(result)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.workload not in PROFILES:
-        print(f"unknown workload {args.workload!r}; choose from "
-              f"{sorted(PROFILES)}", file=sys.stderr)
-        return 2
-    if args.ftl not in FTL_REGISTRY:
-        print(f"unknown FTL {args.ftl!r}; choose from "
-              f"{sorted(FTL_REGISTRY)}", file=sys.stderr)
-        return 2
-    config = ExperimentConfig(flex_use_predictor=args.predictor)
-    span = experiment_span(config, utilization=args.utilization)
-    streams = build_workload(args.workload, span, total_ops=args.ops,
-                             seed=args.seed)
-    result = run_workload(args.ftl, streams, config)
-    bandwidth = result.stats.write_bandwidth
-    rows = [
-        ["IOPS", f"{result.iops:.1f}"],
-        ["block erasures", result.erases],
-        ["write amplification", f"{result.write_amplification:.3f}"],
-        ["peak write BW [MB/s]", f"{bandwidth.percentile(1.0):.1f}"],
-        ["host programs", result.counters["host_programs"]],
-        ["GC programs", result.counters["gc_programs"]],
-        ["backup programs", result.counters["backup_programs"]],
-    ]
-    print(f"{args.ftl} on {args.workload} "
-          f"({args.ops} ops, footprint {span} pages)")
-    print(render_table(["metric", "value"], rows))
-    return 0
+#: Global options, accepted both before and after the subcommand.
+_GLOBAL_OPTIONS = (
+    (("--seed",), dict(type=int, default=1,
+                       help="experiment seed (default 1)")),
+    (("--jobs", "-j"), dict(type=int, default=1,
+                            help="worker processes for grid "
+                                 "experiments (default 1 = serial)")),
+    (("--no-cache",), dict(action="store_true",
+                           help="bypass the on-disk result cache")),
+    (("--json",), dict(action="store_true",
+                       help="emit machine-readable JSON instead of "
+                            "the text report")),
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,71 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's tables, figures and "
                     "ablations (DAC'16 RPS/flexFTL reproduction).",
     )
-    parser.add_argument("--seed", type=int, default=1,
-                        help="experiment seed (default 1)")
+    for flags, spec in _GLOBAL_OPTIONS:
+        parser.add_argument(*flags, **spec)
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("table1", help="workload characteristics")
-    p.add_argument("--ops", type=int, default=20000)
-    p.set_defaults(fn=_cmd_table1)
-
-    p = sub.add_parser("fig4", help="reliability comparison")
-    p.add_argument("--blocks", type=int, default=90)
-    p.add_argument("--wordlines", type=int, default=64)
-    p.set_defaults(fn=_cmd_fig4)
-
-    p = sub.add_parser("fig8", help="IOPS / erasures / bandwidth CDF")
-    p.add_argument("--workloads", default=None,
-                   help="comma-separated subset (default: all five)")
-    p.add_argument("--scale", type=float, default=1.0,
-                   help="op-count multiplier (default 1.0)")
-    p.add_argument("--utilization", type=float, default=0.75)
-    p.set_defaults(fn=_cmd_fig8)
-
-    p = sub.add_parser("recovery", help="power-loss recovery + "
-                                        "reboot estimate")
-    p.add_argument("--wordlines", type=int, default=64)
-    p.set_defaults(fn=_cmd_recovery)
-
-    p = sub.add_parser("ablation", help="design-parameter sweeps")
-    p.add_argument("which",
-                   choices=("quota", "thresholds", "parity", "gc"))
-    p.set_defaults(fn=_cmd_ablation)
-
-    p = sub.add_parser("endurance", help="BER vs P/E cycles through "
-                                         "the ECC lens")
-    p.add_argument("--blocks", type=int, default=12)
-    p.add_argument("--wordlines", type=int, default=24)
-    p.set_defaults(fn=_cmd_endurance)
-
-    p = sub.add_parser("scaling", help="IOPS vs device parallelism")
-    p.add_argument("--ops-per-chip", type=int, default=800)
-    p.set_defaults(fn=_cmd_scaling)
-
-    p = sub.add_parser("latency", help="read-latency percentiles per "
-                                       "FTL")
-    p.add_argument("--workload", default="NTRX")
-    p.add_argument("--ops", type=int, default=8000)
-    p.set_defaults(fn=_cmd_latency)
-
-    p = sub.add_parser("tlc", help="TLC generalisation of RPS")
-    p.add_argument("--wordlines", type=int, default=128)
-    p.add_argument("--mode", choices=("orders", "burst", "system"),
-                   default="orders",
-                   help="orders: constraint/aggressor table; burst: "
-                        "burst-service study; system: full DES "
-                        "comparison")
-    p.set_defaults(fn=_cmd_tlc)
-
-    p = sub.add_parser("run", help="one FTL on one workload")
-    p.add_argument("--workload", default="Varmail")
-    p.add_argument("--ftl", default="flexFTL")
-    p.add_argument("--ops", type=int, default=12000)
-    p.add_argument("--utilization", type=float, default=0.75)
-    p.add_argument("--predictor", action="store_true",
-                   help="enable the Section 6 future-write predictor")
-    p.set_defaults(fn=_cmd_run)
-
+    for experiment in registry.all_experiments():
+        p = sub.add_parser(experiment.name, help=experiment.help)
+        experiment.add_arguments(p)
+        for flags, spec in _GLOBAL_OPTIONS:
+            # SUPPRESS keeps the subparser from clobbering a value the
+            # root parser already set (``repro --jobs 4 fig8``) while
+            # still accepting ``repro fig8 --jobs 4``.
+            p.add_argument(*flags, **dict(spec,
+                                          default=argparse.SUPPRESS))
+        p.set_defaults(fn=functools.partial(_dispatch, experiment),
+                       experiment=experiment.name)
     return parser
 
 
@@ -274,7 +109,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Reader went away (``repro ... | head``); die quietly like
+        # any well-behaved pipeline stage.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,16 +2,30 @@
 
 * :mod:`repro.experiments.runner` — system assembly, preconditioning,
   measured runs.
+* :mod:`repro.experiments.engine` — parallel cell execution, result
+  cache, progress reporting.
+* :mod:`repro.experiments.registry` — the table-driven Experiment
+  protocol behind the CLI.
 * :mod:`repro.experiments.table1` — workload characteristics (Table 1).
 * :mod:`repro.experiments.fig4` — reliability comparison (Figure 4).
 * :mod:`repro.experiments.fig8` — IOPS, erasures, bandwidth CDF
   (Figures 8(a)-(c)).
 * :mod:`repro.experiments.recovery` — Section 3.3 reboot-overhead
   estimate and end-to-end power-loss recovery.
-* :mod:`repro.experiments.ablation` — quota, thresholds, parity
-  granularity sweeps.
+* :mod:`repro.experiments.ablation` — quota, thresholds, parity,
+  GC-policy and predictor sweeps.
+* :mod:`repro.experiments.single_run` — one FTL on one workload (the
+  CLI ``run`` command).
 """
 
+from repro.experiments.engine import (
+    Cell,
+    EngineOptions,
+    ResultCache,
+    derive_seed,
+    run_cells,
+    workload_cell,
+)
 from repro.experiments.runner import (
     EXPERIMENT_GEOMETRY,
     FTL_REGISTRY,
@@ -34,6 +48,7 @@ from repro.experiments.ablation import (
     render_ablation,
     run_gc_policy_ablation,
     run_parity_ablation,
+    run_predictor_ablation,
     run_quota_ablation,
     run_threshold_ablation,
 )
@@ -45,6 +60,12 @@ from repro.experiments.endurance import EnduranceResult, run_endurance_sweep
 from repro.experiments.scaling import ScalingResult, run_scaling_study
 
 __all__ = [
+    "Cell",
+    "EngineOptions",
+    "ResultCache",
+    "derive_seed",
+    "run_cells",
+    "workload_cell",
     "EXPERIMENT_GEOMETRY",
     "FTL_REGISTRY",
     "ExperimentConfig",
@@ -65,6 +86,7 @@ __all__ = [
     "run_quota_ablation",
     "run_threshold_ablation",
     "run_parity_ablation",
+    "run_predictor_ablation",
     "run_gc_policy_ablation",
     "render_ablation",
     "run_read_latency_comparison",

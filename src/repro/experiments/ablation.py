@@ -9,6 +9,11 @@ them out and these sweeps quantify each:
 * **A3** — the parity-sharing granularity: one parity page per two
   LSB pages (the FPS ceiling of [6]) versus one per block (flexFTL's
   per-block scheme, only possible under RPS).
+
+Two substrate ablations ride along: the GC victim-selection policy
+(**A4**) and the Section 6 future-write predictor (**A5**).  Every
+sweep is a grid of independent runs, so all five execute through the
+parallel engine (one cell per configuration).
 """
 
 from __future__ import annotations
@@ -17,11 +22,16 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.page_allocator import PolicyConfig
+from repro.experiments import registry
+from repro.experiments.engine import (
+    EngineOptions,
+    run_cells,
+    workload_cell,
+)
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
     experiment_span,
-    run_workload,
 )
 from repro.metrics.report import render_table
 from repro.workloads.benchmarks import build_workload
@@ -45,11 +55,29 @@ class AblationPoint:
         samples = self.result.stats.write_bandwidth.samples_mbps()
         return max(samples) if samples else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection (label plus the full run result)."""
+        return {"label": self.label, "result": self.result.to_dict()}
+
 
 def _varmail_streams(config: ExperimentConfig, total_ops: int,
                      utilization: float, seed: int, workload: str):
     span = experiment_span(config, utilization=utilization)
     return build_workload(workload, span, total_ops=total_ops, seed=seed)
+
+
+def _run_points(
+    labelled_configs: Sequence[Tuple[str, str, ExperimentConfig]],
+    streams,
+    engine: Optional[EngineOptions],
+    sweep: str,
+) -> List[AblationPoint]:
+    """Run (label, ftl, config) triples as one engine batch."""
+    cells = [workload_cell(ftl, streams, config, label=label)
+             for label, ftl, config in labelled_configs]
+    results = run_cells(cells, options=engine, label=sweep)
+    return [AblationPoint(label, result)
+            for (label, _, _), result in zip(labelled_configs, results)]
 
 
 def run_quota_ablation(
@@ -59,21 +87,21 @@ def run_quota_ablation(
     utilization: float = 0.75,
     seed: int = 1,
     config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
 ) -> List[AblationPoint]:
     """A1: sweep the initial quota fraction (paper value 0.05)."""
     config = config or ExperimentConfig()
     streams = _varmail_streams(config, total_ops, utilization, seed,
                                workload)
-    points: List[AblationPoint] = []
+    grid = []
     for fraction in fractions:
         swept = dataclasses.replace(
             config,
             policy_config=dataclasses.replace(config.policy_config,
                                               quota_fraction=fraction),
         )
-        result = run_workload("flexFTL", streams, swept)
-        points.append(AblationPoint(f"q0={fraction:.4g}", result))
-    return points
+        grid.append((f"q0={fraction:.4g}", "flexFTL", swept))
+    return _run_points(grid, streams, engine, "ablation/quota")
 
 
 def run_threshold_ablation(
@@ -85,22 +113,21 @@ def run_threshold_ablation(
     utilization: float = 0.75,
     seed: int = 1,
     config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
 ) -> List[AblationPoint]:
     """A2: sweep (u_high, u_low) (paper values 0.8 / 0.1)."""
     config = config or ExperimentConfig()
     streams = _varmail_streams(config, total_ops, utilization, seed,
                                workload)
-    points: List[AblationPoint] = []
+    grid = []
     for u_high, u_low in pairs:
         swept = dataclasses.replace(
             config,
             policy_config=dataclasses.replace(config.policy_config,
                                               u_high=u_high, u_low=u_low),
         )
-        result = run_workload("flexFTL", streams, swept)
-        points.append(AblationPoint(f"u_high={u_high} u_low={u_low}",
-                                    result))
-    return points
+        grid.append((f"u_high={u_high} u_low={u_low}", "flexFTL", swept))
+    return _run_points(grid, streams, engine, "ablation/thresholds")
 
 
 def run_parity_ablation(
@@ -110,6 +137,7 @@ def run_parity_ablation(
     utilization: float = 0.75,
     seed: int = 1,
     config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
 ) -> Dict[str, AblationPoint]:
     """A3: parity-sharing granularity.
 
@@ -121,19 +149,20 @@ def run_parity_ablation(
     config = config or ExperimentConfig()
     streams = _varmail_streams(config, total_ops, utilization, seed,
                                workload)
-    points: Dict[str, AblationPoint] = {
-        "parityFTL (per 2 LSBs, FPS)": AblationPoint(
-            "parityFTL", run_workload("parityFTL", streams, config)
-        ),
-    }
+    grid: List[Tuple[str, str, ExperimentConfig]] = [
+        ("parityFTL (per 2 LSBs, FPS)", "parityFTL", config),
+    ]
     for interval in intervals:
         swept = dataclasses.replace(config, flex_parity_interval=interval)
         label = ("flexFTL (per block)" if interval == 0
                  else f"flexFTL (per {interval} LSBs)")
-        points[label] = AblationPoint(
-            label, run_workload("flexFTL", streams, swept)
-        )
-    return points
+        grid.append((label, "flexFTL", swept))
+    points = _run_points(grid, streams, engine, "ablation/parity")
+    # The first label is a display name; keep the historical dict keys.
+    keyed = {point.label: point for point in points}
+    keyed["parityFTL (per 2 LSBs, FPS)"] = AblationPoint(
+        "parityFTL", keyed["parityFTL (per 2 LSBs, FPS)"].result)
+    return keyed
 
 
 def run_gc_policy_ablation(
@@ -143,8 +172,9 @@ def run_gc_policy_ablation(
     utilization: float = 0.85,
     seed: int = 1,
     config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
 ) -> List[AblationPoint]:
-    """Substrate ablation: GC victim-selection policy.
+    """A4: GC victim-selection policy.
 
     The paper's FTLs all use greedy selection; an age-weighted
     cost-benefit policy separates hot and cold blocks, which shows up
@@ -154,16 +184,40 @@ def run_gc_policy_ablation(
     config = config or ExperimentConfig()
     streams = _varmail_streams(config, total_ops, utilization, seed,
                                workload)
-    points: List[AblationPoint] = []
+    grid = []
     for policy in policies:
         swept = dataclasses.replace(
             config,
             ftl_config=dataclasses.replace(config.ftl_config,
                                            gc_policy=policy),
         )
-        result = run_workload("flexFTL", streams, swept)
-        points.append(AblationPoint(f"gc={policy}", result))
-    return points
+        grid.append((f"gc={policy}", "flexFTL", swept))
+    return _run_points(grid, streams, engine, "ablation/gc")
+
+
+def run_predictor_ablation(
+    workload: str = "Varmail",
+    total_ops: int = 12000,
+    utilization: float = 0.75,
+    seed: int = 1,
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
+) -> List[AblationPoint]:
+    """A5: the Section 6 future-write predictor, off vs on.
+
+    pageFTL rides along as the performance reference the predictor is
+    trying to close the gap to.
+    """
+    config = config or ExperimentConfig()
+    streams = _varmail_streams(config, total_ops, utilization, seed,
+                               workload)
+    boosted = dataclasses.replace(config, flex_use_predictor=True)
+    grid = [
+        ("flexFTL", "flexFTL", config),
+        ("flexFTL+predictor", "flexFTL", boosted),
+        ("pageFTL (reference)", "pageFTL", config),
+    ]
+    return _run_points(grid, streams, engine, "ablation/predictor")
 
 
 def render_ablation(points: Sequence[AblationPoint]) -> str:
@@ -181,3 +235,37 @@ def render_ablation(points: Sequence[AblationPoint]) -> str:
             point.result.counters["backup_programs"],
         ])
     return render_table(headers, rows)
+
+
+# -- CLI registration --------------------------------------------------
+
+#: CLI sweep name -> runner (all take ``seed`` and ``engine``).
+ABLATIONS = {
+    "quota": run_quota_ablation,
+    "thresholds": run_threshold_ablation,
+    "parity": run_parity_ablation,
+    "gc": run_gc_policy_ablation,
+    "predictor": run_predictor_ablation,
+}
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("which", choices=tuple(ABLATIONS))
+
+
+def _cli_run(args, engine_options: EngineOptions) -> List[AblationPoint]:
+    points = ABLATIONS[args.which](seed=args.seed, engine=engine_options)
+    if isinstance(points, dict):
+        points = list(points.values())
+    return points
+
+
+registry.register(registry.Experiment(
+    name="ablation",
+    help="design-parameter sweeps",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=render_ablation,
+    to_dict=lambda points: {"points": [p.to_dict() for p in points]},
+    parallel=True,
+))

@@ -14,10 +14,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments import registry
+from repro.experiments.engine import Cell, EngineOptions, run_cells
 from repro.metrics.report import render_table
-from repro.reliability.ber import OperatingCondition, StressModel
+from repro.reliability.ber import StressModel
 from repro.reliability.ecc import EccConfig, page_failure_probability
-from repro.reliability.montecarlo import run_reliability_experiment
 from repro.reliability.vth import MlcVthModel
 
 DEFAULT_SCHEMES: Sequence[str] = ("FPS", "RPSfull", "unconstrained")
@@ -33,6 +34,18 @@ class EnduranceResult:
     page_failure: Dict[str, List[float]]
     endurance: Dict[str, Optional[int]]  # last cycle meeting target
     target: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection of the curves and derived endurance."""
+        return {
+            "cycles": list(self.cycles),
+            "median_ber": {s: list(v)
+                           for s, v in self.median_ber.items()},
+            "page_failure": {s: list(v)
+                             for s, v in self.page_failure.items()},
+            "endurance": dict(self.endurance),
+            "target": self.target,
+        }
 
     def render(self) -> str:
         """Render the BER-vs-cycles table with endurance column."""
@@ -63,22 +76,30 @@ def run_endurance_sweep(
     model: Optional[MlcVthModel] = None,
     stress: Optional[StressModel] = None,
     seed: int = 0,
+    engine: Optional[EngineOptions] = None,
 ) -> EnduranceResult:
-    """Sweep P/E cycles and derive each scheme's usable endurance."""
+    """Sweep P/E cycles and derive each scheme's usable endurance.
+
+    The (scheme x cycles) grid runs as independent Monte-Carlo cells
+    through the parallel engine; the cheap ECC projection and the
+    endurance derivation happen in the parent afterwards.
+    """
     cycles = list(cycles)
+    cells = [
+        Cell.make("reliability", label=f"{scheme}@{pe}",
+                  scheme=scheme, blocks=blocks, wordlines=wordlines,
+                  pe_cycles=pe, retention_hours=retention_hours,
+                  seed=seed, model=model, stress=stress)
+        for scheme in schemes for pe in cycles
+    ]
+    outcomes = run_cells(cells, options=engine, label="endurance")
     median_ber: Dict[str, List[float]] = {s: [] for s in schemes}
     page_failure: Dict[str, List[float]] = {s: [] for s in schemes}
     endurance: Dict[str, Optional[int]] = {}
+    grid = iter(outcomes)
     for scheme in schemes:
-        for pe in cycles:
-            condition = OperatingCondition(pe_cycles=pe,
-                                           retention_hours=retention_hours)
-            result = run_reliability_experiment(
-                scheme, blocks=blocks, wordlines=wordlines,
-                condition=condition, model=model, stress=stress,
-                seed=seed,
-            )
-            ber = result.ber.median
+        for _pe in cycles:
+            ber = next(grid)["ber"]["median"]
             median_ber[scheme].append(ber)
             page_failure[scheme].append(
                 page_failure_probability(ber, config=ecc)
@@ -93,3 +114,28 @@ def run_endurance_sweep(
         endurance=endurance,
         target=target_page_failure,
     )
+
+
+# -- CLI registration --------------------------------------------------
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--blocks", type=int, default=12)
+    parser.add_argument("--wordlines", type=int, default=24)
+
+
+def _cli_run(args, engine_options: EngineOptions) -> EnduranceResult:
+    return run_endurance_sweep(blocks=args.blocks,
+                               wordlines=args.wordlines,
+                               seed=args.seed, engine=engine_options)
+
+
+registry.register(registry.Experiment(
+    name="endurance",
+    help="BER vs P/E cycles through the ECC lens",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=EnduranceResult.render,
+    to_dict=EnduranceResult.to_dict,
+    parallel=True,
+))

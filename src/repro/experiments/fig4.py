@@ -129,3 +129,45 @@ def run_fig4(
     }
     return Fig4Result(results=results, blocks=blocks, wordlines=wordlines,
                       condition=condition)
+
+
+# -- CLI registration --------------------------------------------------
+
+from repro.experiments import registry  # noqa: E402
+from repro.experiments.engine import EngineOptions  # noqa: E402
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--blocks", type=int, default=90)
+    parser.add_argument("--wordlines", type=int, default=64)
+
+
+def _cli_run(args, engine_options: EngineOptions) -> Fig4Result:
+    return run_fig4(blocks=args.blocks, wordlines=args.wordlines,
+                    seed=args.seed)
+
+
+def _cli_to_dict(result: Fig4Result) -> Dict[str, object]:
+    return {
+        "blocks": result.blocks,
+        "wordlines": result.wordlines,
+        "pe_cycles": result.condition.pe_cycles,
+        "retention_hours": result.condition.retention_hours,
+        "rps_matches_fps": result.rps_matches_fps(),
+        "schemes": {
+            scheme: {"wpi": dataclasses.asdict(measured.wpi),
+                     "ber": dataclasses.asdict(measured.ber)}
+            for scheme, measured in result.results.items()
+        },
+    }
+
+
+registry.register(registry.Experiment(
+    name="fig4",
+    help="reliability comparison",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=Fig4Result.render,
+    to_dict=_cli_to_dict,
+    exit_code=lambda result: 0 if result.rps_matches_fps() else 1,
+))

@@ -23,11 +23,16 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.experiments import registry
+from repro.experiments.engine import (
+    EngineOptions,
+    run_cells,
+    workload_cell,
+)
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
     experiment_span,
-    run_workload,
 )
 from repro.metrics.bandwidth import cdf_points, peak_ratio
 from repro.metrics.iops import normalize
@@ -105,6 +110,19 @@ class Fig8Result:
                     for f, r in self.runs["Varmail"].items()}
         return peak_ratio(trackers, numerator, denominator)
 
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection: every run plus both normalised panels."""
+        return {
+            "span": self.span,
+            "runs": {workload: {ftl: run.to_dict()
+                                for ftl, run in ftls.items()}
+                     for workload, ftls in self.runs.items()},
+            "normalized_iops": self.normalized_iops(),
+            "normalized_erasures": self.normalized_erasures(),
+        }
+
     # -- rendering -----------------------------------------------------
 
     def render(self) -> str:
@@ -147,6 +165,7 @@ def run_fig8(
     utilization: float = 0.75,
     seed: int = 1,
     scale: float = 1.0,
+    engine: Optional[EngineOptions] = None,
 ) -> Fig8Result:
     """Run the Figure 8 comparison.
 
@@ -159,6 +178,8 @@ def run_fig8(
         seed: workload generation seed.
         scale: multiply the per-workload op counts (0.25 gives a quick
             smoke-scale run; 1.0 is the full experiment).
+        engine: parallel-execution options; the (workload x FTL) grid
+            fans out one cell per run.
 
     Returns:
         A :class:`Fig8Result` holding every run.
@@ -167,11 +188,46 @@ def run_fig8(
     config = config or ExperimentConfig()
     base_ops = dict(ops or DEFAULT_OPS)
     span = experiment_span(config, utilization=utilization)
-    runs: Dict[str, Dict[str, RunResult]] = {}
+    cells = []
+    coords = []
     for workload in workloads:
         total = max(200, int(base_ops.get(workload, 16000) * scale))
         streams = build_workload(workload, span, total_ops=total, seed=seed)
-        runs[workload] = {}
         for ftl in ftls:
-            runs[workload][ftl] = run_workload(ftl, streams, config)
+            cells.append(workload_cell(ftl, streams, config,
+                                       label=f"{workload}/{ftl}"))
+            coords.append((workload, ftl))
+    results = run_cells(cells, options=engine, label="fig8")
+    runs: Dict[str, Dict[str, RunResult]] = {}
+    for (workload, ftl), result in zip(coords, results):
+        runs.setdefault(workload, {})[ftl] = result
     return Fig8Result(runs=runs, span=span)
+
+
+# -- CLI registration --------------------------------------------------
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset (default: all five)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="op-count multiplier (default 1.0)")
+    parser.add_argument("--utilization", type=float, default=0.75)
+
+
+def _cli_run(args, engine_options: EngineOptions) -> Fig8Result:
+    workloads = args.workloads.split(",") if args.workloads else None
+    return run_fig8(workloads=workloads, scale=args.scale,
+                    utilization=args.utilization, seed=args.seed,
+                    engine=engine_options)
+
+
+registry.register(registry.Experiment(
+    name="fig8",
+    help="IOPS / erasures / bandwidth CDF",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=Fig8Result.render,
+    to_dict=Fig8Result.to_dict,
+    parallel=True,
+))

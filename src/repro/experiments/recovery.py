@@ -145,3 +145,42 @@ def reboot_overhead_report() -> str:
     ]
     return render_table(["configuration", "reboot read overhead [ms]"],
                         rows)
+
+
+# -- CLI registration --------------------------------------------------
+
+from repro.experiments import registry  # noqa: E402
+from repro.experiments.engine import EngineOptions  # noqa: E402
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--wordlines", type=int, default=64)
+
+
+def _cli_run(args, engine_options: EngineOptions) -> SpoScenario:
+    return run_spo_recovery(wordlines=args.wordlines, page_size=4096,
+                            seed=args.seed)
+
+
+def _cli_render(scenario: SpoScenario) -> str:
+    return (reboot_overhead_report()
+            + "\n\n"
+            + f"end-to-end power-loss scenario: lost word line "
+              f"{scenario.lost_wordline}, recovered={scenario.success}")
+
+
+registry.register(registry.Experiment(
+    name="recovery",
+    help="power-loss recovery + reboot estimate",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=_cli_render,
+    to_dict=lambda scenario: {
+        "wordlines": scenario.wordlines,
+        "msb_written_before_loss": scenario.msb_written_before_loss,
+        "lost_wordline": scenario.lost_wordline,
+        "recovered": scenario.success,
+        "data_was_lost": scenario.report.data_was_lost,
+    },
+    exit_code=lambda scenario: 0 if scenario.success else 1,
+))

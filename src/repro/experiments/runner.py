@@ -73,6 +73,30 @@ class ExperimentConfig:
     #: give flexFTL a future-write predictor (the Section 6 extension).
     flex_use_predictor: bool = False
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`.
+
+        The engine's result cache keys on this, so it must cover every
+        field that can change a run's outcome.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            geometry=NandGeometry(**data["geometry"]),  # type: ignore[arg-type]
+            timing=NandTiming(**data["timing"]),  # type: ignore[arg-type]
+            buffer_pages=int(data["buffer_pages"]),  # type: ignore[arg-type]
+            ftl_config=FtlConfig(**data["ftl_config"]),  # type: ignore[arg-type]
+            policy_config=PolicyConfig(**data["policy_config"]),  # type: ignore[arg-type]
+            bandwidth_window=float(data["bandwidth_window"]),  # type: ignore[arg-type]
+            warmup=bool(data["warmup"]),
+            flex_parity_interval=int(data["flex_parity_interval"]),  # type: ignore[arg-type]
+            rtf_active_blocks=int(data["rtf_active_blocks"]),  # type: ignore[arg-type]
+            flex_use_predictor=bool(data["flex_use_predictor"]),
+        )
+
 
 @dataclasses.dataclass
 class RunResult:
@@ -86,7 +110,14 @@ class RunResult:
 
     @property
     def iops(self) -> float:
-        """Completed host requests per second (Figure 8(a) metric)."""
+        """Completed host requests per second (Figure 8(a) metric).
+
+        ``nan`` when the measured phase completed no host requests
+        (possible with tiny ``--ops`` values): a rate over an empty
+        makespan is undefined, not zero.
+        """
+        if self.stats.completed_requests == 0 or self.stats.elapsed <= 0.0:
+            return float("nan")
         return self.stats.iops()
 
     @property
@@ -96,12 +127,46 @@ class RunResult:
 
     @property
     def write_amplification(self) -> float:
-        """(host + GC + backup programs) / host programs."""
-        host = max(1, self.counters["host_programs"])
+        """(host + GC + backup programs) / host programs.
+
+        ``nan`` when the measured phase wrote no host pages — the
+        ratio is undefined rather than zero or infinite.
+        """
+        host = self.counters["host_programs"]
+        if host == 0:
+            return float("nan")
         total = (self.counters["host_programs"]
                  + self.counters["gc_programs"]
                  + self.counters["backup_programs"])
         return total / host
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot shared by the result cache and ``--json``.
+
+        Invertible: ``RunResult.from_dict(r.to_dict()) == r``, exactly
+        (floats survive a JSON round trip bit-for-bit).
+        """
+        return {
+            "ftl_name": self.ftl_name,
+            "stats": self.stats.to_dict(),
+            "counters": dict(self.counters),
+            "events": self.events,
+            "logical_pages": self.logical_pages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ftl_name=str(data["ftl_name"]),
+            stats=SimStats.from_dict(data["stats"]),  # type: ignore[arg-type]
+            counters={str(k): int(v)
+                      for k, v in data["counters"].items()},  # type: ignore[union-attr]
+            events=int(data["events"]),  # type: ignore[arg-type]
+            logical_pages=int(data["logical_pages"]),  # type: ignore[arg-type]
+        )
 
 
 def build_system(
@@ -171,6 +236,7 @@ def experiment_span(config: Optional[ExperimentConfig] = None,
 
 
 def run_workload(
+    *,
     ftl_name: str,
     streams: Sequence[Sequence[StreamOp]],
     config: Optional[ExperimentConfig] = None,
@@ -178,6 +244,11 @@ def run_workload(
     warmup_span: Optional[int] = None,
 ) -> RunResult:
     """Precondition, run one workload, and report measured-phase results.
+
+    All parameters are keyword-only: call sites used to pass
+    ``(ftl, streams, config)`` positionally, an argument order that is
+    easy to swap silently and that the engine's serialized
+    :class:`~repro.experiments.engine.Cell` spec cannot tolerate.
 
     Args:
         ftl_name: a :data:`FTL_REGISTRY` key.

@@ -11,10 +11,15 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments import registry
+from repro.experiments.engine import (
+    EngineOptions,
+    run_cells,
+    workload_cell,
+)
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
-    run_workload,
 )
 from repro.metrics.report import render_table
 from repro.nand.geometry import NandGeometry
@@ -30,6 +35,11 @@ class ScalingResult:
     def iops_by_chips(self) -> Dict[int, float]:
         """IOPS keyed by total chip count."""
         return {chips: result.iops for chips, result in self.points}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection: one entry per device width."""
+        return {"points": [{"chips": chips, "result": result.to_dict()}
+                           for chips, result in self.points]}
 
     def render(self) -> str:
         """Render the chips/IOPS/speedup/efficiency table."""
@@ -53,10 +63,12 @@ def run_scaling_study(
     utilization: float = 0.7,
     seed: int = 1,
     base_config: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineOptions] = None,
 ) -> ScalingResult:
     """Sweep channel count; workload and footprint scale with it."""
     base_config = base_config or ExperimentConfig()
-    points: List[Tuple[int, RunResult]] = []
+    cells = []
+    chip_counts: List[int] = []
     for channels in channel_counts:
         geometry = NandGeometry(
             channels=channels,
@@ -74,5 +86,31 @@ def run_scaling_study(
         streams = build_workload(workload, span,
                                  total_ops=ops_per_chip * chips,
                                  seed=seed)
-        points.append((chips, run_workload(ftl, streams, config)))
-    return ScalingResult(points=points)
+        cells.append(workload_cell(ftl, streams, config,
+                                   label=f"{chips} chips"))
+        chip_counts.append(chips)
+    results = run_cells(cells, options=engine, label="scaling")
+    return ScalingResult(points=list(zip(chip_counts, results)))
+
+
+# -- CLI registration --------------------------------------------------
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--ops-per-chip", type=int, default=800)
+
+
+def _cli_run(args, engine_options: EngineOptions) -> ScalingResult:
+    return run_scaling_study(ops_per_chip=args.ops_per_chip,
+                             seed=args.seed, engine=engine_options)
+
+
+registry.register(registry.Experiment(
+    name="scaling",
+    help="IOPS vs device parallelism",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=ScalingResult.render,
+    to_dict=ScalingResult.to_dict,
+    parallel=True,
+))

@@ -21,11 +21,15 @@ from typing import (
     Sequence,
 )
 
+from repro.experiments.engine import (
+    EngineOptions,
+    run_cells,
+    workload_cell,
+)
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
     experiment_span,
-    run_workload,
 )
 from repro.metrics.report import render_table
 from repro.workloads.benchmarks import build_workload
@@ -63,18 +67,21 @@ def run_sweep(
     total_ops: int = 8000,
     utilization: float = 0.75,
     seed: int = 1,
+    engine: Optional[EngineOptions] = None,
 ) -> List[SweepRow]:
     """Run the cartesian product of ``axes``.
 
     The workload is generated once per distinct footprint (configs may
     change the geometry, which changes the logical span), so rows with
-    the same device shape share identical inputs.
+    the same device shape share identical inputs.  Each combination is
+    one engine cell, so sweeps parallelise across processes.
     """
     if not axes:
         raise ValueError("need at least one axis")
     names = list(axes)
-    rows: List[SweepRow] = []
     stream_cache: Dict[int, object] = {}
+    cells = []
+    combos: List[Dict[str, object]] = []
     for combo in itertools.product(*(axes[name] for name in names)):
         params = dict(zip(names, combo))
         config = config_builder(params)
@@ -83,9 +90,12 @@ def run_sweep(
             stream_cache[span] = build_workload(
                 workload, span, total_ops=total_ops, seed=seed)
         streams = stream_cache[span]
-        result = run_workload(ftl, streams, config)  # type: ignore[arg-type]
-        rows.append(SweepRow(params=params, result=result))
-    return rows
+        label = " ".join(f"{k}={v}" for k, v in params.items())
+        cells.append(workload_cell(ftl, streams, config, label=label))  # type: ignore[arg-type]
+        combos.append(params)
+    results = run_cells(cells, options=engine, label="sweep")
+    return [SweepRow(params=params, result=result)
+            for params, result in zip(combos, results)]
 
 
 def render_sweep(rows: Sequence[SweepRow],

@@ -107,3 +107,37 @@ def render_table1(characteristics: Dict[str, WorkloadCharacteristics]
     return render_table(headers,
                         [configured_ratio, measured_ratio, intensity,
                          think])
+
+
+# -- CLI registration --------------------------------------------------
+
+from repro.experiments import registry  # noqa: E402
+from repro.experiments.engine import EngineOptions  # noqa: E402
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--ops", type=int, default=20000)
+
+
+def _cli_run(args, engine_options: EngineOptions
+             ) -> Dict[str, WorkloadCharacteristics]:
+    return run_table1(total_ops=args.ops, seed=args.seed)
+
+
+def _cli_render(characteristics: Dict[str, WorkloadCharacteristics]
+                ) -> str:
+    return ("Table 1: I/O characteristics of the five workloads\n"
+            + render_table1(characteristics))
+
+
+registry.register(registry.Experiment(
+    name="table1",
+    help="workload characteristics",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=_cli_render,
+    to_dict=lambda characteristics: {
+        name: dataclasses.asdict(wc)
+        for name, wc in characteristics.items()
+    },
+))

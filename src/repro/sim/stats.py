@@ -34,6 +34,29 @@ class WindowedBandwidth:
         bucket = int(time / self.window)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + nbytes
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowedBandwidth):
+            return NotImplemented
+        return (self.window == other.window
+                and self._buckets == other._buckets)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (bucket indices become string keys)."""
+        return {
+            "window": self.window,
+            "buckets": {str(bucket): nbytes
+                        for bucket, nbytes in self._buckets.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WindowedBandwidth":
+        """Inverse of :meth:`to_dict`."""
+        tracker = cls(window=float(data["window"]))  # type: ignore[arg-type]
+        buckets: Dict[str, int] = data.get("buckets", {})  # type: ignore[assignment]
+        tracker._buckets = {int(bucket): int(nbytes)
+                            for bucket, nbytes in buckets.items()}
+        return tracker
+
     def samples_mbps(self) -> List[float]:
         """Per-active-window bandwidth samples in MB/s, time order."""
         return [
@@ -103,6 +126,45 @@ class SimStats:
             self.write_latencies.append(latency)
         if time > self.last_completion:
             self.last_completion = time
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return {
+            "page_size": self.page_size,
+            "bandwidth_window": self.bandwidth_window,
+            "completed_reads": self.completed_reads,
+            "completed_writes": self.completed_writes,
+            "read_pages": self.read_pages,
+            "written_pages": self.written_pages,
+            "buffer_read_hits": self.buffer_read_hits,
+            "first_arrival": self.first_arrival,
+            "last_completion": self.last_completion,
+            "read_latencies": list(self.read_latencies),
+            "write_latencies": list(self.write_latencies),
+            "write_bandwidth": self.write_bandwidth.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Inverse of :meth:`to_dict`."""
+        stats = cls(
+            page_size=int(data["page_size"]),  # type: ignore[arg-type]
+            bandwidth_window=float(data["bandwidth_window"]),  # type: ignore[arg-type]
+            completed_reads=int(data["completed_reads"]),  # type: ignore[arg-type]
+            completed_writes=int(data["completed_writes"]),  # type: ignore[arg-type]
+            read_pages=int(data["read_pages"]),  # type: ignore[arg-type]
+            written_pages=int(data["written_pages"]),  # type: ignore[arg-type]
+            buffer_read_hits=int(data["buffer_read_hits"]),  # type: ignore[arg-type]
+            first_arrival=data["first_arrival"],  # type: ignore[arg-type]
+            last_completion=float(data["last_completion"]),  # type: ignore[arg-type]
+            read_latencies=list(data["read_latencies"]),  # type: ignore[arg-type]
+            write_latencies=list(data["write_latencies"]),  # type: ignore[arg-type]
+        )
+        stats.write_bandwidth = WindowedBandwidth.from_dict(
+            data["write_bandwidth"])  # type: ignore[arg-type]
+        return stats
 
     # ------------------------------------------------------------------
 

@@ -88,10 +88,12 @@ class TestFlexFtlPredictorIntegration:
         span = experiment_span(self.CONFIG, utilization=0.45)
         streams = build_workload("Varmail", span, total_ops=4000,
                                  seed=2)
-        base = run_workload("flexFTL", streams, self.CONFIG)
+        base = run_workload(ftl_name="flexFTL", streams=streams,
+                            config=self.CONFIG)
         boosted = run_workload(
-            "flexFTL", streams,
-            dataclasses.replace(self.CONFIG, flex_use_predictor=True))
+            ftl_name="flexFTL", streams=streams,
+            config=dataclasses.replace(self.CONFIG,
+                                       flex_use_predictor=True))
         # Just-in-time collection leaves the quota healthier.
         assert boosted.counters["quota"] >= base.counters["quota"]
         assert boosted.counters["gc_programs"] >= \
@@ -101,6 +103,8 @@ class TestFlexFtlPredictorIntegration:
         span = experiment_span(self.CONFIG, utilization=0.45)
         streams = build_workload("Varmail", span, total_ops=2000,
                                  seed=2)
-        a = run_workload("flexFTL", streams, self.CONFIG)
-        b = run_workload("flexFTL", streams, self.CONFIG)
+        a = run_workload(ftl_name="flexFTL", streams=streams,
+                         config=self.CONFIG)
+        b = run_workload(ftl_name="flexFTL", streams=streams,
+                         config=self.CONFIG)
         assert a.counters == b.counters  # deterministic, no predictor

@@ -60,7 +60,8 @@ class TestRunner:
     def test_run_workload_measured_phase_only(self):
         span = experiment_span(TEST_CONFIG, utilization=0.5)
         streams = build_workload("OLTP", span, total_ops=300, seed=1)
-        result = run_workload("pageFTL", streams, TEST_CONFIG)
+        result = run_workload(ftl_name="pageFTL", streams=streams,
+                              config=TEST_CONFIG)
         # Warmup wrote the whole span but is excluded from counters.
         assert result.stats.completed_requests == \
             sum(len(s) for s in streams)
@@ -69,8 +70,10 @@ class TestRunner:
     def test_results_are_reproducible(self):
         span = experiment_span(TEST_CONFIG, utilization=0.5)
         streams = build_workload("Varmail", span, total_ops=300, seed=3)
-        a = run_workload("flexFTL", streams, TEST_CONFIG)
-        b = run_workload("flexFTL", streams, TEST_CONFIG)
+        a = run_workload(ftl_name="flexFTL", streams=streams,
+                         config=TEST_CONFIG)
+        b = run_workload(ftl_name="flexFTL", streams=streams,
+                         config=TEST_CONFIG)
         assert a.iops == pytest.approx(b.iops)
         assert a.erases == b.erases
 
