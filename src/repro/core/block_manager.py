@@ -71,17 +71,22 @@ class TwoPhaseBlockManager:
         slow block queue (FIFO, per Section 3.1) and ``phase_done`` is
         True — the caller must persist the block's accumulated parity.
         """
-        if self._fast is None:
+        fast = self._fast
+        if fast is None:
             return None
-        wordline, ptype = self._fast.take()
-        block = self._fast.block
-        done = self._fast.done
+        # PhaseCursor.take + done, inlined (per-LSB-write hot path; the
+        # cursor can never be exhausted here because the last take
+        # retires it below)
+        wordline = fast._next
+        fast._next = wordline + 1
+        block = fast.block
+        done = fast._next >= self.wordlines
         if done:
             self._sbqueue.append(
                 PhaseCursor(block, self.wordlines, PageType.MSB)
             )
             self._fast = None
-        return TakenPage(block, wordline, ptype, done)
+        return TakenPage(block, wordline, PageType.LSB, done)
 
     # ------------------------------------------------------------------
     # slow (MSB) phase
@@ -103,14 +108,18 @@ class TwoPhaseBlockManager:
         when the take fills the block completely — the caller moves it
         to the full pool and invalidates its parity page.
         """
-        if not self._sbqueue:
+        sbqueue = self._sbqueue
+        if not sbqueue:
             return None
-        cursor = self._sbqueue[0]
-        wordline, ptype = cursor.take()
-        done = cursor.done
+        cursor = sbqueue[0]
+        # PhaseCursor.take + done, inlined (per-MSB-write hot path; the
+        # head cursor is popped the moment it is exhausted)
+        wordline = cursor._next
+        cursor._next = wordline + 1
+        done = cursor._next >= self.wordlines
         if done:
-            self._sbqueue.popleft()
-        return TakenPage(cursor.block, wordline, ptype, done)
+            sbqueue.popleft()
+        return TakenPage(cursor.block, wordline, PageType.MSB, done)
 
     # ------------------------------------------------------------------
     # capacity views (the block pool manager's signals to the policy)

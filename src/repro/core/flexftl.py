@@ -28,11 +28,16 @@ from repro.core.block_manager import TwoPhaseBlockManager
 from repro.core.page_allocator import PolicyConfig, PolicyManager, QuotaTracker
 from repro.core.predictor import EwmaBurstPredictor
 from repro.ftl.base import BaseFtl, FtlConfig
+from repro.ftl.cursor import PhaseCursor
 from repro.nand.array import NandArray
 from repro.nand.geometry import PhysicalPageAddress
 from repro.nand.page_types import PageType
 from repro.nand.sequence import SequenceScheme
+from repro.sim.ops import FlashOp, OpKind
 from repro.sim.queues import WriteBuffer
+
+_PROGRAM = OpKind.PROGRAM
+_new = object.__new__
 
 
 class FlexFtl(BaseFtl):
@@ -79,6 +84,8 @@ class FlexFtl(BaseFtl):
         super().__init__(array, write_buffer, config)
         self.parity_interval = parity_interval
         self.predictor = predictor
+        if predictor is not None:
+            self._after_host_program = self._observe_host_program
         self.policy_config = policy_config or PolicyConfig()
         self.policy = PolicyManager(self.policy_config)
         self.managers: List[TwoPhaseBlockManager] = [
@@ -93,6 +100,11 @@ class FlexFtl(BaseFtl):
                         int(initial_quota
                             * self.policy_config.quota_cap_factor))
         self.quota = QuotaTracker(initial_quota, quota_cap)
+        #: per-chip (channel, chip) pairs precomputed for hot-path
+        #: address construction
+        self._coords: List[Tuple[int, int]] = [
+            divmod(cid, self._cpc) for cid in self.geometry.iter_chip_ids()
+        ]
         #: parity invalidations deferred until the closing MSB program
         #: has durably completed (see _flush_parity_invalidations)
         self._pending_invalidations: List[List[int]] = [
@@ -115,14 +127,39 @@ class FlexFtl(BaseFtl):
         self, chip_id: int, now: float
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         manager = self.managers[chip_id]
-        choice = self.policy.choose(
-            utilization=self.write_buffer.utilization,
-            quota=self.quota,
-            lsb_available=self._lsb_available(chip_id),
-            msb_available=manager.has_slow_block,
-        )
-        if choice is None:
+        # _lsb_available inlined (called once per host page write)
+        if manager._fast is not None and manager._fast.remaining > 0:
+            lsb_available = True
+        else:
+            lsb_available = len(self.chips[chip_id].free_blocks) \
+                > self.config.gc_reserve_blocks
+        msb_available = bool(manager._sbqueue)
+        # PolicyManager.choose inlined (same rule, same decision
+        # counters); keep in sync with
+        # :meth:`repro.core.page_allocator.PolicyManager.choose`.
+        policy = self.policy
+        if not lsb_available and not msb_available:
             return None
+        if not msb_available:
+            choice = PageType.LSB
+        elif not lsb_available:
+            choice = PageType.MSB
+        else:
+            buffer = self.write_buffer
+            utilization = buffer._live / buffer.capacity
+            config = policy.config
+            if utilization > config.u_high:
+                if self.quota.value > 0:
+                    choice = PageType.LSB
+                else:
+                    choice = policy._next_alternate
+                    policy._next_alternate = choice.paired()
+            elif utilization < config.u_low:
+                choice = PageType.MSB
+            else:
+                choice = policy._next_alternate
+                policy._next_alternate = choice.paired()
+        policy.decisions[choice] += 1
         if choice is PageType.LSB:
             allocated = self._take_lsb(chip_id, for_gc=False)
             if allocated is None and manager.has_slow_block:
@@ -148,42 +185,71 @@ class FlexFtl(BaseFtl):
         self, chip_id: int, for_gc: bool
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         manager = self.managers[chip_id]
-        if manager.needs_fast_block:
+        fast = manager._fast
+        if fast is None:
             block = self._take_free_block(chip_id, for_gc=for_gc)
             if block is None:
                 return None
-            manager.install_fast_block(block)
-        taken = manager.take_lsb()
-        if taken is None:  # pragma: no cover - guarded by install above
-            return None
-        self.quota.note_lsb_write()
-        gb = self.mapping.global_block_of(chip_id, taken.block)
-        if taken.phase_done:
-            # Last LSB page of the fast block: persist its accumulated
-            # parity page; the block has just joined the SBQueue.
-            self._enqueue_parity_backup(chip_id, owner=gb)
+            fast = PhaseCursor(block, manager.wordlines, PageType.LSB)
+            manager._fast = fast
+        # TwoPhaseBlockManager.take_lsb, inlined without the TakenPage
+        # (per-LSB-write hot path); keep in sync with
+        # :meth:`repro.core.block_manager.TwoPhaseBlockManager.take_lsb`.
+        wordline = fast._next
+        fast._next = wordline + 1
+        block = fast.block
+        self.quota.value -= 1  # note_lsb_write, inlined
+        if fast._next >= manager.wordlines:
+            # Last LSB page of the fast block: the block joins the
+            # SBQueue and its accumulated parity page is persisted.
+            manager._sbqueue.append(
+                PhaseCursor(block, manager.wordlines, PageType.MSB))
+            manager._fast = None
+            self._enqueue_parity_backup(
+                chip_id,
+                owner=self.mapping.global_block_of(chip_id, block))
         elif self.parity_interval > 0 \
-                and (taken.wordline + 1) % self.parity_interval == 0:
+                and (wordline + 1) % self.parity_interval == 0:
             # Ablation mode: intermediate parity checkpoints, each
             # superseding the block's previous one.
-            self._enqueue_parity_backup(chip_id, owner=gb)
-        addr = self._page_address(chip_id, taken.block, taken.wordline,
-                                  PageType.LSB)
-        return addr, PageType.LSB
+            self._enqueue_parity_backup(
+                chip_id,
+                owner=self.mapping.global_block_of(chip_id, block))
+        # _page_address, inlined (per-allocation hot path);
+        # tuple.__new__ skips the NamedTuple __new__ wrapper
+        channel, chip = self._coords[chip_id]
+        return (tuple.__new__(PhysicalPageAddress,
+                              (channel, chip, block, 2 * wordline)),
+                PageType.LSB)
 
     def _take_msb(
         self, chip_id: int
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         manager = self.managers[chip_id]
-        taken = manager.take_msb()
-        if taken is None:
+        sbqueue = manager._sbqueue
+        if not sbqueue:
             return None
-        self.quota.note_msb_write()
-        addr = self._page_address(chip_id, taken.block, taken.wordline,
-                                  PageType.MSB)
-        if taken.phase_done:
+        # TwoPhaseBlockManager.take_msb, inlined without the TakenPage
+        # (per-MSB-write hot path); keep in sync with
+        # :meth:`repro.core.block_manager.TwoPhaseBlockManager.take_msb`.
+        cursor = sbqueue[0]
+        wordline = cursor._next
+        cursor._next = wordline + 1
+        block = cursor.block
+        done = cursor._next >= manager.wordlines
+        if done:
+            sbqueue.popleft()
+        quota = self.quota  # note_msb_write, inlined (saturating)
+        if quota.value < quota.cap:
+            quota.value += 1
+        # _page_address, inlined (per-allocation hot path);
+        # tuple.__new__ skips the NamedTuple __new__ wrapper
+        channel, chip = self._coords[chip_id]
+        addr = tuple.__new__(PhysicalPageAddress,
+                             (channel, chip, block, 2 * wordline + 1))
+        if done:
             # Block fully written: GC-eligible, parity page now dead.
-            self._mark_block_full(chip_id, taken.block)
+            self._mark_block_full(chip_id, block)
         return addr, PageType.MSB
 
     # ------------------------------------------------------------------
@@ -211,13 +277,198 @@ class FlexFtl(BaseFtl):
         pending.clear()
 
     def next_op(self, chip_id: int, now: float):
-        """Base behaviour plus deferred parity invalidation."""
-        self._flush_parity_invalidations(chip_id)
-        return super().next_op(chip_id, now)
+        """Deferred parity invalidation plus the base dispatch, with
+        the host-write pipeline fully open-coded.
 
-    def _after_host_program(self, chip_id, addr, ptype, now):
-        if self.predictor is not None:
-            self.predictor.observe_write(now)
+        This runs for every idle chip on every controller pump, and its
+        call chain — base dispatch → ``_host_write_op`` →
+        ``_allocate_host_page`` → policy choice → buffer pop —
+        dominated the simulation profile.  The general forms remain in
+        place for GC, preconditioning, the other FTLs and the tests;
+        keep this in sync with :meth:`repro.ftl.base.BaseFtl.next_op`,
+        :meth:`repro.ftl.base.BaseFtl._host_write_op`,
+        :meth:`_allocate_host_page`,
+        :meth:`repro.core.page_allocator.PolicyManager.choose` and
+        :meth:`repro.sim.queues.WriteBuffer.pop`.
+        """
+        if self._pending_invalidations[chip_id]:
+            self._flush_parity_invalidations(chip_id)
+        state = self.chips[chip_id]
+        if state.pending:
+            return state.pending.popleft()
+        gc = state.gc
+        if gc is not None and not gc.background:
+            return self._gc_step(chip_id)
+        # ---- BaseFtl._host_write_op, open-coded ----
+        buffer = self.write_buffer
+        if not buffer._live:
+            return None
+        # ---- _allocate_host_page, open-coded ----
+        manager = self.managers[chip_id]
+        fast = manager._fast
+        sbqueue = manager._sbqueue
+        wordlines = manager.wordlines
+        if fast is not None and fast._next < wordlines:
+            lsb_available = True
+        else:
+            lsb_available = len(state.free_blocks) \
+                > self.config.gc_reserve_blocks
+        msb_available = bool(sbqueue)
+        addr = None
+        alloc = None
+        if lsb_available or msb_available:
+            policy = self.policy
+            if not msb_available:
+                choice = PageType.LSB
+            elif not lsb_available:
+                choice = PageType.MSB
+            else:
+                utilization = buffer._live / buffer.capacity
+                config = policy.config
+                if utilization > config.u_high:
+                    if self.quota.value > 0:
+                        choice = PageType.LSB
+                    else:
+                        choice = policy._next_alternate
+                        policy._next_alternate = PageType.MSB \
+                            if choice is PageType.LSB else PageType.LSB
+                elif utilization < config.u_low:
+                    choice = PageType.MSB
+                else:
+                    choice = policy._next_alternate
+                    policy._next_alternate = PageType.MSB \
+                        if choice is PageType.LSB else PageType.LSB
+            policy.decisions[choice] += 1
+            if choice is PageType.LSB:
+                if fast is not None:
+                    # _take_lsb with an installed fast block, inlined
+                    # (cannot fail; the install/free-block path below
+                    # delegates to the method)
+                    wordline = fast._next
+                    fast._next = wordline + 1
+                    block = fast.block
+                    self.quota.value -= 1  # note_lsb_write, inlined
+                    if fast._next >= wordlines:
+                        sbqueue.append(
+                            PhaseCursor(block, wordlines, PageType.MSB))
+                        manager._fast = None
+                        self._enqueue_parity_backup(
+                            chip_id,
+                            owner=self.mapping.global_block_of(
+                                chip_id, block))
+                    elif self.parity_interval > 0 \
+                            and (wordline + 1) % self.parity_interval == 0:
+                        self._enqueue_parity_backup(
+                            chip_id,
+                            owner=self.mapping.global_block_of(
+                                chip_id, block))
+                    page = 2 * wordline
+                    channel, chip = self._coords[chip_id]
+                    addr = tuple.__new__(PhysicalPageAddress,
+                                         (channel, chip, block, page))
+                    ptype = PageType.LSB
+                    ppn = (chip_id * self._pages_per_chip
+                           + block * self._ppb + page)
+                else:
+                    alloc = self._take_lsb(chip_id, for_gc=False)
+                    if alloc is None:
+                        alloc = self._take_msb(chip_id)
+            else:
+                # _take_msb, inlined (an MSB choice implies the SBQueue
+                # is non-empty, so the take cannot fail)
+                cursor = sbqueue[0]
+                wordline = cursor._next
+                cursor._next = wordline + 1
+                block = cursor.block
+                done = cursor._next >= wordlines
+                if done:
+                    sbqueue.popleft()
+                quota = self.quota  # note_msb_write, inlined (saturating)
+                if quota.value < quota.cap:
+                    quota.value += 1
+                page = 2 * wordline + 1
+                channel, chip = self._coords[chip_id]
+                addr = tuple.__new__(PhysicalPageAddress,
+                                     (channel, chip, block, page))
+                ptype = PageType.MSB
+                ppn = (chip_id * self._pages_per_chip
+                       + block * self._ppb + page)
+                if done:
+                    # Block fully written: GC-eligible, parity dead.
+                    self._mark_block_full(chip_id, block)
+        if addr is None:
+            if alloc is None:
+                # Write-blocked: start (or promote) a foreground
+                # collection.
+                if state.gc is None:
+                    victim = self._select_victim(chip_id)
+                    if victim is not None:
+                        self._begin_gc(chip_id, victim, background=False)
+                elif state.gc.background:
+                    state.gc.background = False
+                if state.gc is not None and not state.gc.background:
+                    return self._gc_step(chip_id)
+                return None
+            addr, ptype = alloc
+            # addr is a NamedTuple: index access skips the descriptor
+            ppn = (addr[0] * self._cpc + addr[1]) * self._pages_per_chip \
+                + addr[2] * self._ppb + addr[3]
+        # ---- WriteBuffer.pop, open-coded ----
+        if buffer._stale:  # stale marks exist only with coalescing on
+            entry = buffer.pop()
+        else:
+            entry = buffer._fifo.popleft()
+            elpn = entry.lpn
+            resident = buffer._resident
+            remaining = resident[elpn] - 1
+            if remaining:
+                resident[elpn] = remaining
+            else:
+                del resident[elpn]
+            buffer._live -= 1
+        lpn = entry.lpn
+        # ---- MappingTable.map_write, open-coded (error paths delegate
+        # so the exact exception is raised); keep in sync with
+        # :meth:`repro.ftl.mapping.MappingTable.map_write` ----
+        mapping = self.mapping
+        p2l = mapping._p2l
+        if not 0 <= lpn < mapping.logical_pages or p2l[ppn] >= 0:
+            mapping.map_write(lpn, ppn)  # raises
+        valid = mapping._valid
+        l2p = mapping._l2p
+        old = l2p[lpn]
+        if old >= 0:
+            p2l[old] = -1
+            valid[old // self._ppb] -= 1
+        else:
+            mapping._mapped += 1
+        l2p[lpn] = ppn
+        p2l[ppn] = lpn
+        gb = ppn // self._ppb
+        valid[gb] += 1
+        # write-clock accounting, inlined (see _note_block_write)
+        self._write_clock += 1
+        self._block_write_stamp[gb] = self._write_clock
+        self.host_programs += 1
+        hook = self._after_host_program
+        if hook is not None:
+            hook(chip_id, addr, ptype, now)
+        # FlashOp built via object.__new__ + slot stores: skips the
+        # dataclass __init__ frame (once per host program)
+        op = _new(FlashOp)
+        op.kind = _PROGRAM
+        op.addr = addr
+        op.tag = "host"
+        op.lpn = lpn
+        op.on_complete = None
+        op.data = None
+        return op
+
+    def _observe_host_program(self, chip_id, addr, ptype, now):
+        # installed as the base _after_host_program hook only when a
+        # predictor exists (see __init__), so predictor-less runs skip
+        # the per-write hook call entirely
+        self.predictor.observe_write(now)
 
     # ------------------------------------------------------------------
     # predictor-driven just-in-time collection (Section 6 extension)

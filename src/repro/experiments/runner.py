@@ -72,6 +72,10 @@ class ExperimentConfig:
     rtf_active_blocks: int = 8
     #: give flexFTL a future-write predictor (the Section 6 extension).
     flex_use_predictor: bool = False
+    #: retain per-block program histories (needed by the reliability
+    #: analyses; performance runs turn this off — it does not change
+    #: any simulation outcome, only what the device remembers).
+    track_history: bool = True
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe snapshot, invertible via :meth:`from_dict`.
@@ -95,6 +99,7 @@ class ExperimentConfig:
             flex_parity_interval=int(data["flex_parity_interval"]),  # type: ignore[arg-type]
             rtf_active_blocks=int(data["rtf_active_blocks"]),  # type: ignore[arg-type]
             flex_use_predictor=bool(data["flex_use_predictor"]),
+            track_history=bool(data.get("track_history", True)),
         )
 
 
@@ -181,7 +186,8 @@ def build_system(
     config = config or ExperimentConfig()
     ftl_cls, scheme = FTL_REGISTRY[ftl_name]
     sim = Simulator()
-    array = NandArray(config.geometry, config.timing, scheme=scheme)
+    array = NandArray(config.geometry, config.timing, scheme=scheme,
+                      track_history=config.track_history)
     buffer = WriteBuffer(config.buffer_pages)
     if ftl_cls is FlexFtl:
         predictor = (EwmaBurstPredictor()

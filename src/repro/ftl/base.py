@@ -14,13 +14,13 @@ from __future__ import annotations
 import abc
 import dataclasses
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.ftl.backup import BackupBlockManager
 from repro.ftl.mapping import MappingTable
 from repro.nand.array import NandArray
 from repro.nand.geometry import PhysicalPageAddress
-from repro.nand.page_types import PageType, page_index
+from repro.nand.page_types import PageType
 from repro.sim.ops import FlashOp, OpKind
 from repro.sim.queues import WriteBuffer
 
@@ -131,6 +131,10 @@ class BaseFtl(abc.ABC):
         self.write_buffer = write_buffer
         self.config = config or FtlConfig()
         self.wordlines = self.geometry.wordlines_per_block
+        # geometry scalars used by the per-write inlined ppn math
+        self._cpc = self.geometry.chips_per_channel
+        self._ppb = self.geometry.pages_per_block
+        self._pages_per_chip = self.geometry.pages_per_chip
 
         backup_blocks = (self.config.backup_blocks_per_chip
                          if self.uses_backup else 0)
@@ -230,7 +234,8 @@ class BaseFtl(abc.ABC):
     # host write path
 
     def _host_write_op(self, chip_id: int, now: float) -> Optional[FlashOp]:
-        if self.write_buffer.is_empty:
+        buffer = self.write_buffer
+        if not buffer._live:  # is_empty, inlined (polled per idle chip)
             return None
         alloc = self._allocate_host_page(chip_id, now)
         if alloc is None:
@@ -247,12 +252,19 @@ class BaseFtl(abc.ABC):
                 return self._gc_step(chip_id)
             return None
         addr, ptype = alloc
-        entry = self.write_buffer.pop()
-        ppn = self.geometry.ppn(addr)
+        entry = buffer.pop()
+        # ppn math inlined (geometry.ppn re-validates an address the
+        # allocator just built)
+        ppn = (addr.channel * self._cpc + addr.chip) \
+            * self._pages_per_chip + addr.block * self._ppb + addr.page
         self.mapping.map_write(entry.lpn, ppn)
-        self._note_block_write(self.mapping.global_block(ppn))
+        # write-clock accounting, inlined (see _note_block_write)
+        self._write_clock += 1
+        self._block_write_stamp[ppn // self._ppb] = self._write_clock
         self.host_programs += 1
-        self._after_host_program(chip_id, addr, ptype, now)
+        hook = self._after_host_program
+        if hook is not None:
+            hook(chip_id, addr, ptype, now)
         return FlashOp(OpKind.PROGRAM, addr, tag="host", lpn=entry.lpn)
 
     # ------------------------------------------------------------------
@@ -334,7 +346,7 @@ class BaseFtl(abc.ABC):
         while job.valid_lpns:
             lpn = job.valid_lpns.popleft()
             ppn = self.mapping.lookup(lpn)
-            if ppn is None or self.mapping.global_block(ppn) != job.victim_gb:
+            if ppn is None or ppn // self._ppb != job.victim_gb:
                 continue  # superseded by a newer host write meanwhile
             target = self._allocate_gc_page(chip_id)
             if target is None:
@@ -343,12 +355,19 @@ class BaseFtl(abc.ABC):
                 return None
             target_addr, target_ptype = target
             source_addr = self.geometry.address_of(ppn)
-            target_ppn = self.geometry.ppn(target_addr)
+            target_ppn = (target_addr.channel * self._cpc
+                          + target_addr.chip) * self._pages_per_chip \
+                + target_addr.block * self._ppb + target_addr.page
             self.mapping.map_write(lpn, target_ppn)
-            self._note_block_write(self.mapping.global_block(target_ppn))
+            # write-clock accounting, inlined (see _note_block_write)
+            self._write_clock += 1
+            self._block_write_stamp[target_ppn // self._ppb] = \
+                self._write_clock
             self.gc_programs += 1
             job.copied += 1
-            self._after_gc_program(chip_id, target_addr, target_ptype)
+            hook = self._after_gc_program
+            if hook is not None:
+                hook(chip_id, target_addr, target_ptype)
             state.pending.append(
                 FlashOp(OpKind.PROGRAM, target_addr, tag="gc", lpn=lpn)
             )
@@ -357,7 +376,9 @@ class BaseFtl(abc.ABC):
         state.gc = None
         self.mapping.note_block_erased(job.victim_gb)
         state.free_blocks.append(job.victim_block)
-        self._after_gc_complete(chip_id, job)
+        hook = self._after_gc_complete
+        if hook is not None:
+            hook(chip_id, job)
         erase_addr = PhysicalPageAddress(
             *self.geometry.chip_coords(chip_id), job.victim_block, 0
         )
@@ -386,9 +407,10 @@ class BaseFtl(abc.ABC):
     def _page_address(self, chip_id: int, block: int, wordline: int,
                       ptype: PageType) -> PhysicalPageAddress:
         """Build a physical address from chip-local coordinates."""
-        channel, chip = self.geometry.chip_coords(chip_id)
+        # chip_coords + page_index inlined (per-allocation hot path)
+        channel, chip = divmod(chip_id, self._cpc)
         return PhysicalPageAddress(channel, chip, block,
-                                   page_index(wordline, ptype))
+                                   2 * wordline + ptype)
 
     def _mark_block_full(self, chip_id: int, block: int) -> None:
         """Move a fully-written block into the GC-eligible full set."""
@@ -448,21 +470,22 @@ class BaseFtl(abc.ABC):
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         """Pick the physical page for a GC relocation on a chip."""
 
-    def _after_host_program(self, chip_id: int,
-                            addr: PhysicalPageAddress,
-                            ptype: PageType, now: float) -> None:
-        """Hook: called after a host page write is placed."""
+    #: Hook: called as ``hook(chip_id, addr, ptype, now)`` after a host
+    #: page write is placed.  ``None`` (the default) means "no hook":
+    #: the per-write fast path skips the call entirely.  Subclasses
+    #: override with a method, or assign a bound callable per instance.
+    _after_host_program: Optional[Callable[..., None]] = None
 
-    def _after_gc_program(self, chip_id: int,
-                          addr: PhysicalPageAddress,
-                          ptype: PageType) -> None:
-        """Hook: called after a GC relocation page is placed."""
+    #: Hook: called as ``hook(chip_id, addr, ptype)`` after a GC
+    #: relocation page is placed, or ``None`` for no hook.
+    _after_gc_program: Optional[Callable[..., None]] = None
 
     def _on_block_full(self, chip_id: int, block: int) -> None:
         """Hook: called when a data block becomes fully written."""
 
-    def _after_gc_complete(self, chip_id: int, job: GcJob) -> None:
-        """Hook: called when a GC finishes (victim already recycled)."""
+    #: Hook: called as ``hook(chip_id, job)`` when a GC finishes
+    #: (victim already recycled), or ``None`` for no hook.
+    _after_gc_complete: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------
     # accounting

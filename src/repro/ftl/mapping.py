@@ -7,7 +7,7 @@ page counts, which drive greedy garbage-collection victim selection.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.nand.geometry import NandGeometry, PhysicalPageAddress
 
@@ -17,7 +17,10 @@ class MappingTable:
 
     Physical pages are identified by their flat physical page number
     (ppn); blocks by their global block id
-    (``chip_id * blocks_per_chip + block``).
+    (``chip_id * blocks_per_chip + block``).  Both directions are flat
+    integer lists (-1 = unmapped) — the reverse map used to be a dict,
+    but every host/GC write touches it and the list is both faster and
+    a fraction of the memory at device scale.
     """
 
     def __init__(self, geometry: NandGeometry, logical_pages: int) -> None:
@@ -32,8 +35,10 @@ class MappingTable:
             )
         self.geometry = geometry
         self.logical_pages = logical_pages
+        self._pages_per_block = geometry.pages_per_block
         self._l2p: List[int] = [-1] * logical_pages
-        self._p2l: Dict[int, int] = {}
+        self._p2l: List[int] = [-1] * geometry.total_pages
+        self._mapped = 0
         self._valid: List[int] = [0] * geometry.total_blocks
 
     # ------------------------------------------------------------------
@@ -52,9 +57,13 @@ class MappingTable:
 
     def lookup(self, lpn: int) -> Optional[int]:
         """Current ppn of logical page ``lpn``, or None if unmapped."""
+        # bounds check open-coded (this runs once per read page); the
+        # failure path delegates for the exact error message
+        if 0 <= lpn < self.logical_pages:
+            ppn = self._l2p[lpn]
+            return None if ppn < 0 else ppn
         self._check_lpn(lpn)
-        ppn = self._l2p[lpn]
-        return None if ppn < 0 else ppn
+        return None  # pragma: no cover - _check_lpn always raises here
 
     def lookup_address(self, lpn: int) -> Optional[PhysicalPageAddress]:
         """Current physical address of ``lpn``, or None if unmapped."""
@@ -63,11 +72,12 @@ class MappingTable:
 
     def lpn_of(self, ppn: int) -> Optional[int]:
         """Logical page stored at ``ppn`` if that page is valid."""
-        return self._p2l.get(ppn)
+        lpn = self._p2l[ppn]
+        return None if lpn < 0 else lpn
 
     def is_valid(self, ppn: int) -> bool:
         """Whether ``ppn`` holds current (not superseded) data."""
-        return ppn in self._p2l
+        return self._p2l[ppn] >= 0
 
     def valid_count(self, global_block: int) -> int:
         """Number of valid pages in a block."""
@@ -83,10 +93,11 @@ class MappingTable:
 
     def valid_lpns_in_block(self, global_block: int) -> Iterator[int]:
         """Yield the logical pages currently living in a block."""
-        base = global_block * self.geometry.pages_per_block
-        for ppn in range(base, base + self.geometry.pages_per_block):
-            lpn = self._p2l.get(ppn)
-            if lpn is not None:
+        base = global_block * self._pages_per_block
+        p2l = self._p2l
+        for ppn in range(base, base + self._pages_per_block):
+            lpn = p2l[ppn]
+            if lpn >= 0:
                 yield lpn
 
     # ------------------------------------------------------------------
@@ -94,18 +105,24 @@ class MappingTable:
 
     def map_write(self, lpn: int, ppn: int) -> Optional[int]:
         """Point ``lpn`` at ``ppn``; returns the superseded ppn if any."""
-        self._check_lpn(lpn)
-        if ppn in self._p2l:
-            raise ValueError(f"ppn {ppn} already holds lpn {self._p2l[ppn]}")
+        if not 0 <= lpn < self.logical_pages:
+            raise IndexError(
+                f"lpn {lpn} out of range [0, {self.logical_pages})"
+            )
+        p2l = self._p2l
+        if p2l[ppn] >= 0:
+            raise ValueError(f"ppn {ppn} already holds lpn {p2l[ppn]}")
         old = self._l2p[lpn]
         old_ppn: Optional[int] = None
         if old >= 0:
             old_ppn = old
-            del self._p2l[old]
-            self._valid[self.global_block(old)] -= 1
+            p2l[old] = -1
+            self._valid[old // self._pages_per_block] -= 1
+            self._mapped -= 1
         self._l2p[lpn] = ppn
-        self._p2l[ppn] = lpn
-        self._valid[self.global_block(ppn)] += 1
+        p2l[ppn] = lpn
+        self._valid[ppn // self._pages_per_block] += 1
+        self._mapped += 1
         return old_ppn
 
     def unmap(self, lpn: int) -> Optional[int]:
@@ -115,8 +132,9 @@ class MappingTable:
         if ppn < 0:
             return None
         self._l2p[lpn] = -1
-        del self._p2l[ppn]
-        self._valid[self.global_block(ppn)] -= 1
+        self._p2l[ppn] = -1
+        self._mapped -= 1
+        self._valid[ppn // self._pages_per_block] -= 1
         return ppn
 
     def note_block_erased(self, global_block: int) -> None:
@@ -132,7 +150,7 @@ class MappingTable:
     @property
     def mapped_pages(self) -> int:
         """Number of logical pages currently mapped."""
-        return len(self._p2l)
+        return self._mapped
 
     def _check_lpn(self, lpn: int) -> None:
         if not (0 <= lpn < self.logical_pages):

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.nand.block import ERASED_CODE, PROGRAMMED_CODE
 from repro.nand.chip import Chip
 from repro.nand.geometry import NandGeometry, PhysicalPageAddress
 from repro.nand.page_types import PageType, split_index
 from repro.nand.sequence import SequenceScheme
 from repro.nand.timing import NandTiming
+
+_PTYPES = (PageType.LSB, PageType.MSB)
 
 
 class NandArray:
@@ -27,11 +30,20 @@ class NandArray:
         timing: Optional[NandTiming] = None,
         scheme: SequenceScheme = SequenceScheme.RPS,
         store_data: bool = False,
+        track_history: bool = True,
     ) -> None:
         self.geometry = geometry or NandGeometry()
         self.timing = timing or NandTiming()
         self.scheme = scheme
         self.store_data = store_data
+        self.track_history = track_history
+        # geometry bounds cached as plain ints for the per-op inlined
+        # address validation below
+        g = self.geometry
+        self._channels = g.channels
+        self._cpc = g.chips_per_channel
+        self._bpc = g.blocks_per_chip
+        self._ppb = g.pages_per_block
         self.chips: List[Chip] = [
             Chip(
                 chip_id,
@@ -40,6 +52,7 @@ class NandArray:
                 timing=self.timing,
                 scheme=scheme,
                 store_data=store_data,
+                track_history=track_history,
             )
             for chip_id in self.geometry.iter_chip_ids()
         ]
@@ -54,10 +67,12 @@ class NandArray:
 
     def is_programmed(self, addr: PhysicalPageAddress) -> bool:
         """Whether the page at ``addr`` currently holds programmed data."""
-        wordline, ptype = split_index(addr.page)
-        return self.chip_at(addr).blocks[addr.block].is_programmed(
-            wordline, ptype
-        )
+        channel, chip, block, page = addr
+        if not (0 <= channel < self._channels and 0 <= chip < self._cpc
+                and 0 <= block < self._bpc and 0 <= page < self._ppb):
+            self.geometry.validate(addr)  # raises with the precise field
+        blk = self.chips[channel * self._cpc + chip].blocks[block]
+        return blk._states[page] == PROGRAMMED_CODE
 
     # ------------------------------------------------------------------
     # operations
@@ -65,13 +80,63 @@ class NandArray:
     def program(self, addr: PhysicalPageAddress,
                 data: Optional[bytes] = None) -> float:
         """Program the page at ``addr``; returns the array latency."""
-        wordline, ptype = split_index(addr.page)
-        return self.chip_at(addr).program(addr.block, wordline, ptype, data)
+        # Inlined chip_at + split_index + geometry.validate + the body
+        # of Chip.program: this and ``read`` run once per simulated
+        # flash op and the call layers were measurable.  The slow paths
+        # delegate so errors carry the exact Chip/Block messages; keep
+        # in sync with :meth:`repro.nand.chip.Chip.program`.
+        channel, chip, block, page = addr
+        if not (0 <= channel < self._channels and 0 <= chip < self._cpc
+                and 0 <= block < self._bpc and 0 <= page < self._ppb):
+            self.geometry.validate(addr)
+        c = self.chips[channel * self._cpc + chip]
+        blk = c.blocks[block]
+        states = blk._states
+        half = page & 1
+        if half:  # MSB
+            legal = c._unconstrained or (
+                states[page - 1] == PROGRAMMED_CODE
+                and (page < 2 or states[page - 2] == PROGRAMMED_CODE)
+                and (page + 1 >= 2 * blk.wordlines
+                     or states[page + 1] == PROGRAMMED_CODE))
+        else:  # LSB
+            legal = c._unconstrained or (
+                (page == 0 or states[page - 2] == PROGRAMMED_CODE)
+                and (not c._fps or page < 4
+                     or states[page - 3] == PROGRAMMED_CODE))
+        if not legal or states[page] != ERASED_CODE:
+            return c.program(block, page >> 1, _PTYPES[half], data)
+        states[page] = PROGRAMMED_CODE
+        blk._used += 1
+        if blk._data is not None:
+            blk._data[page] = data
+        if blk.track_history:
+            blk.program_history.append(page)
+        if half:
+            c.msb_programs += 1
+        else:
+            c.lsb_programs += 1
+        duration = c._prog_times[half]
+        c.busy_time += duration
+        return duration
 
     def read(self, addr: PhysicalPageAddress) -> "tuple[Optional[bytes], float]":
         """Read the page at ``addr``; returns ``(payload, latency)``."""
-        wordline, ptype = split_index(addr.page)
-        return self.chip_at(addr).read(addr.block, wordline, ptype)
+        channel, chip, block, page = addr
+        if not (0 <= channel < self._channels and 0 <= chip < self._cpc
+                and 0 <= block < self._bpc and 0 <= page < self._ppb):
+            self.geometry.validate(addr)
+        c = self.chips[channel * self._cpc + chip]
+        # Chip.read, inlined; the error path delegates so reads of
+        # erased/destroyed pages raise Block's exact ECC error.
+        blk = c.blocks[block]
+        if blk._states[page] != PROGRAMMED_CODE:
+            return c.read(block, page >> 1, _PTYPES[page & 1])
+        data = blk._data[page] if blk._data is not None else None
+        c.reads += 1
+        duration = c.timing.t_read
+        c.busy_time += duration
+        return data, duration
 
     def erase(self, channel: int, chip: int, block: int) -> float:
         """Erase a block; returns the erase latency."""

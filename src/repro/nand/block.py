@@ -5,6 +5,12 @@ erase counter, the full in-block program history (needed both for
 sequence-constraint enforcement and for the cell-to-cell interference
 analysis of the reliability experiments), and optionally the page
 payloads themselves (used by parity-backup recovery tests).
+
+Page state is stored as a compact ``bytearray`` of state codes (one
+byte per page) rather than a list of :class:`PageState` members:
+endurance-scale runs keep millions of blocks' worth of page state live,
+and the flat byte layout both shrinks that footprint and lets the chip's
+sequence-legality check read raw codes without enum dispatch.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import enum
 from typing import List, Optional
 
 from repro.nand.errors import EccUncorrectableError, PageStateError
-from repro.nand.page_types import PageType, page_index, split_index
+from repro.nand.page_types import PageType, page_index
 
 
 class PageState(enum.Enum):
@@ -21,8 +27,19 @@ class PageState(enum.Enum):
 
     ERASED = "erased"
     PROGRAMMED = "programmed"
-    #: Data lost (e.g. paired LSB destroyed by an interrupted MSB program).
+    #: Data lost (e.g. a paired LSB destroyed by an interrupted MSB program).
     DESTROYED = "destroyed"
+
+
+# Compact state codes used inside the bytearray page store.  The codes
+# are part of the module's internal contract with ``chip.py``'s inlined
+# legality check; translate with ``_STATE_OF_CODE`` at the API boundary.
+ERASED_CODE = 0
+PROGRAMMED_CODE = 1
+DESTROYED_CODE = 2
+
+_STATE_OF_CODE = (PageState.ERASED, PageState.PROGRAMMED,
+                  PageState.DESTROYED)
 
 
 class BlockState(enum.Enum):
@@ -43,61 +60,73 @@ class Block:
             read back (needed by recovery tests and examples); when
             False only metadata is tracked, which keeps large
             performance simulations cheap.
+        track_history: when True (default), :attr:`program_history`
+            records every page program since the last erase — required
+            by the reliability/interference analyses.  Performance
+            experiments pass False to cap the otherwise unbounded
+            per-block history growth.
     """
 
     def __init__(self, block_id: int, wordlines: int,
-                 store_data: bool = False) -> None:
+                 store_data: bool = False,
+                 track_history: bool = True) -> None:
         if wordlines <= 0:
             raise ValueError(f"wordlines must be positive, got {wordlines}")
         self.block_id = block_id
         self.wordlines = wordlines
+        self.pages = 2 * wordlines
         self.store_data = store_data
+        self.track_history = track_history
         self.erase_count = 0
-        self._states: List[PageState] = [PageState.ERASED] * (2 * wordlines)
-        self._data: List[Optional[bytes]] = [None] * (2 * wordlines)
-        #: Page indices in the order they were programmed since last erase.
+        #: per-page state codes (see ``ERASED_CODE`` & friends).
+        self._states = bytearray(self.pages)
+        self._data: Optional[List[Optional[bytes]]] = \
+            [None] * self.pages if store_data else None
+        #: Page indices in the order they were programmed since last
+        #: erase (empty and never appended to when ``track_history`` is
+        #: False).
         self.program_history: List[int] = []
+        #: pages currently holding data (programmed or destroyed);
+        #: maintained incrementally so block-state queries are O(1).
+        self._used = 0
 
     # ------------------------------------------------------------------
     # queries
 
-    @property
-    def pages(self) -> int:
-        """Total pages in the block."""
-        return 2 * self.wordlines
-
     def page_state(self, index: int) -> PageState:
         """State of the page with canonical in-block index ``index``."""
-        return self._states[index]
+        return _STATE_OF_CODE[self._states[index]]
 
     def is_programmed(self, wordline: int, ptype: PageType) -> bool:
         """Whether page ``(wordline, ptype)`` holds programmed data."""
-        return self._states[page_index(wordline, ptype)] is PageState.PROGRAMMED
+        return self._states[page_index(wordline, ptype)] == PROGRAMMED_CODE
 
     def programmed_count(self, ptype: Optional[PageType] = None) -> int:
         """Number of programmed (or destroyed) pages, optionally by type."""
+        if ptype is None:
+            return self._used
         count = 0
-        for index, state in enumerate(self._states):
-            if state is PageState.ERASED:
-                continue
-            if ptype is None or split_index(index)[1] is ptype:
+        states = self._states
+        for index in range(int(ptype), self.pages, 2):
+            if states[index] != ERASED_CODE:
                 count += 1
         return count
 
     def free_count(self, ptype: Optional[PageType] = None) -> int:
         """Number of still-erased pages, optionally filtered by type."""
+        if ptype is None:
+            return self.pages - self._used
         count = 0
-        for index, state in enumerate(self._states):
-            if state is not PageState.ERASED:
-                continue
-            if ptype is None or split_index(index)[1] is ptype:
+        states = self._states
+        for index in range(int(ptype), self.pages, 2):
+            if states[index] == ERASED_CODE:
                 count += 1
         return count
 
     @property
     def state(self) -> BlockState:
         """Derived coarse block state."""
-        used = sum(1 for s in self._states if s is not PageState.ERASED)
+        used = self._used
         if used == 0:
             return BlockState.FREE
         if used == self.pages:
@@ -115,20 +144,24 @@ class Block:
         :meth:`repro.nand.chip.Chip.program`); the block only rejects
         double programming without an intervening erase.
         """
-        index = page_index(wordline, ptype)
-        if index >= self.pages:
+        index = 2 * wordline + int(ptype)
+        if index >= self.pages or wordline < 0:
             raise ValueError(
                 f"wordline {wordline} out of range [0, {self.wordlines})"
             )
-        if self._states[index] is not PageState.ERASED:
+        states = self._states
+        if states[index] != ERASED_CODE:
             raise PageStateError(
                 f"block {self.block_id} page {index} is "
-                f"{self._states[index].value}; program requires an erase"
+                f"{_STATE_OF_CODE[states[index]].value}; "
+                f"program requires an erase"
             )
-        self._states[index] = PageState.PROGRAMMED
-        if self.store_data:
+        states[index] = PROGRAMMED_CODE
+        self._used += 1
+        if self._data is not None:
             self._data[index] = data
-        self.program_history.append(index)
+        if self.track_history:
+            self.program_history.append(index)
 
     def read(self, wordline: int, ptype: PageType) -> Optional[bytes]:
         """Read a page back.
@@ -138,31 +171,36 @@ class Block:
         :class:`EccUncorrectableError`, mirroring how a real controller
         observes a lost page.
         """
-        index = page_index(wordline, ptype)
+        index = 2 * wordline + int(ptype)
         state = self._states[index]
-        if state is not PageState.PROGRAMMED:
+        if state != PROGRAMMED_CODE:
             raise EccUncorrectableError(
-                f"block {self.block_id} page {index} is {state.value}"
+                f"block {self.block_id} page {index} is "
+                f"{_STATE_OF_CODE[state].value}"
             )
-        return self._data[index] if self.store_data else None
+        return self._data[index] if self._data is not None else None
 
     def erase(self) -> None:
         """Erase the block, resetting all page state and the history."""
-        self._states = [PageState.ERASED] * self.pages
-        self._data = [None] * self.pages
-        self.program_history = []
+        self._states = bytearray(self.pages)
+        if self._data is not None:
+            self._data = [None] * self.pages
+        if self.program_history:
+            self.program_history = []
+        self._used = 0
         self.erase_count += 1
 
     def destroy_page(self, wordline: int, ptype: PageType) -> None:
         """Mark a programmed page's data as lost (power-loss modelling)."""
         index = page_index(wordline, ptype)
-        if self._states[index] is not PageState.PROGRAMMED:
+        if self._states[index] != PROGRAMMED_CODE:
             raise PageStateError(
                 f"cannot destroy page {index}: state is "
-                f"{self._states[index].value}"
+                f"{_STATE_OF_CODE[self._states[index]].value}"
             )
-        self._states[index] = PageState.DESTROYED
-        self._data[index] = None
+        self._states[index] = DESTROYED_CODE
+        if self._data is not None:
+            self._data[index] = None
 
     def __repr__(self) -> str:
         return (

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.nand.block import Block
+from repro.nand.block import ERASED_CODE, PROGRAMMED_CODE, Block
 from repro.nand.errors import ProgramSequenceError
 from repro.nand.page_types import PageType
 from repro.nand.sequence import SequenceScheme, constraint_violations
@@ -27,6 +27,8 @@ class Chip:
         timing: operation latencies.
         scheme: program-sequence scheme this die enforces.
         store_data: retain page payloads (see :class:`Block`).
+        track_history: retain per-block program history (see
+            :class:`Block`).
     """
 
     def __init__(
@@ -37,14 +39,24 @@ class Chip:
         timing: Optional[NandTiming] = None,
         scheme: SequenceScheme = SequenceScheme.RPS,
         store_data: bool = False,
+        track_history: bool = True,
     ) -> None:
         if blocks <= 0:
             raise ValueError(f"blocks must be positive, got {blocks}")
         self.chip_id = chip_id
         self.timing = timing or NandTiming()
         self.scheme = scheme
+        #: scheme identity precomputed as plain booleans for the
+        #: per-program legality check
+        self._unconstrained = scheme is SequenceScheme.NONE
+        self._fps = scheme is SequenceScheme.FPS
+        #: program latencies indexed by PageType (IntEnum), precomputed
+        #: so the per-program hot path avoids a method call
+        self._prog_times = (self.timing.program_time(PageType.LSB),
+                            self.timing.program_time(PageType.MSB))
         self.blocks: List[Block] = [
-            Block(i, wordlines_per_block, store_data=store_data)
+            Block(i, wordlines_per_block, store_data=store_data,
+                  track_history=track_history)
             for i in range(blocks)
         ]
         self.lsb_programs = 0
@@ -65,27 +77,69 @@ class Chip:
             PageStateError: the page was already programmed.
         """
         blk = self.blocks[block]
-        violations = constraint_violations(
-            blk.is_programmed, blk.wordlines, wordline, ptype, self.scheme
-        )
-        if violations:
+        wordlines = blk.wordlines
+        if not 0 <= wordline < wordlines:
+            raise ValueError(
+                f"wordline {wordline} out of range [0, {wordlines})"
+            )
+        # Inlined legality check against the block's raw state codes.
+        # This is the equivalent of ``constraint_violations`` (pairing,
+        # Constraints 1-3, plus Constraint 4 under FPS) without the
+        # predicate-callable indirection; the slow path below is taken
+        # only to build the error message once a violation is certain.
+        states = blk._states
+        if ptype is PageType.LSB:
+            index = 2 * wordline
+            legal = self._unconstrained or (
+                (wordline == 0 or states[index - 2] == PROGRAMMED_CODE)
+                and (not self._fps or wordline < 2
+                     or states[index - 3] == PROGRAMMED_CODE))
+        else:
+            index = 2 * wordline + 1
+            legal = self._unconstrained or (
+                states[index - 1] == PROGRAMMED_CODE
+                and (wordline == 0 or states[index - 2] == PROGRAMMED_CODE)
+                and (wordline + 1 >= wordlines
+                     or states[index + 1] == PROGRAMMED_CODE))
+        if not legal:
+            violations = constraint_violations(
+                blk.is_programmed, wordlines, wordline, ptype, self.scheme
+            )
             raise ProgramSequenceError(
                 f"chip {self.chip_id} block {block}: "
                 + "; ".join(violations)
             )
-        blk.program(wordline, ptype, data)
+        if states[index] == ERASED_CODE:
+            # Open-coded Block.program (its index math and range check
+            # are already done above); the slow path delegates so the
+            # double-program error is raised with Block's exact message.
+            states[index] = PROGRAMMED_CODE
+            blk._used += 1
+            if blk._data is not None:
+                blk._data[index] = data
+            if blk.track_history:
+                blk.program_history.append(index)
+        else:
+            blk.program(wordline, ptype, data)
         if ptype is PageType.LSB:
             self.lsb_programs += 1
         else:
             self.msb_programs += 1
-        duration = self.timing.program_time(ptype)
+        duration = self._prog_times[ptype]
         self.busy_time += duration
         return duration
 
     def read(self, block: int, wordline: int,
              ptype: PageType) -> "tuple[Optional[bytes], float]":
         """Read one page; returns ``(payload, latency)``."""
-        data = self.blocks[block].read(wordline, ptype)
+        blk = self.blocks[block]
+        index = 2 * wordline + ptype
+        # Open-coded Block.read; the error path delegates so reads of
+        # erased/destroyed pages raise Block's exact ECC error.
+        if blk._states[index] == PROGRAMMED_CODE:
+            data = blk._data[index] if blk._data is not None else None
+        else:
+            data = blk.read(wordline, ptype)
         self.reads += 1
         duration = self.timing.t_read
         self.busy_time += duration

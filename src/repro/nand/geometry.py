@@ -9,7 +9,7 @@ captures those numbers; scaled-down geometries are used for fast tests.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, NamedTuple
+from typing import TYPE_CHECKING, Iterator, NamedTuple
 
 from repro.nand.errors import AddressError
 
@@ -45,6 +45,29 @@ class NandGeometry:
     pages_per_block: int = 256
     page_size: int = 4096
 
+    #: pages sharing one word line (2 for MLC; TLC subclasses override).
+    #: A plain class attribute, not a dataclass field.
+    pages_per_wordline = 2
+
+    # Derived shape values — ``wordlines_per_block``, ``total_chips``,
+    # ``pages_per_chip``, ``total_blocks``, ``total_pages``,
+    # ``capacity_bytes`` — are precomputed once in ``__post_init__``.
+    # They used to be properties, but address translation runs once or
+    # more per simulated flash operation and the property-call overhead
+    # dominated; plain instance attributes are direct lookups.  They
+    # are deliberately *not* declared as dataclass fields (not even
+    # ``init=False`` ones): ``asdict``/``fields``/equality must keep
+    # covering exactly the five defining numbers above, both for
+    # ``from_dict`` round trips and for the experiment engine's
+    # content-addressed result cache.
+    if TYPE_CHECKING:
+        wordlines_per_block: int
+        total_chips: int
+        pages_per_chip: int
+        total_blocks: int
+        total_pages: int
+        capacity_bytes: int
+
     def __post_init__(self) -> None:
         for name in ("channels", "chips_per_channel", "blocks_per_chip",
                      "pages_per_block", "page_size"):
@@ -56,36 +79,19 @@ class NandGeometry:
                 "pages_per_block must be even (LSB/MSB pairs), got "
                 f"{self.pages_per_block}"
             )
-
-    @property
-    def wordlines_per_block(self) -> int:
-        """Word lines per block (half the page count for 2-bit MLC)."""
-        return self.pages_per_block // 2
-
-    @property
-    def total_chips(self) -> int:
-        """Total number of NAND dies in the device."""
-        return self.channels * self.chips_per_channel
-
-    @property
-    def pages_per_chip(self) -> int:
-        """Pages per die."""
-        return self.blocks_per_chip * self.pages_per_block
-
-    @property
-    def total_blocks(self) -> int:
-        """Total erase blocks in the device."""
-        return self.total_chips * self.blocks_per_chip
-
-    @property
-    def total_pages(self) -> int:
-        """Total pages in the device."""
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def capacity_bytes(self) -> int:
-        """Raw capacity in bytes."""
-        return self.total_pages * self.page_size
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "wordlines_per_block",
+                 self.pages_per_block // self.pages_per_wordline)
+        set_attr(self, "total_chips",
+                 self.channels * self.chips_per_channel)
+        set_attr(self, "pages_per_chip",
+                 self.blocks_per_chip * self.pages_per_block)
+        set_attr(self, "total_blocks",
+                 self.total_chips * self.blocks_per_chip)
+        set_attr(self, "total_pages",
+                 self.total_blocks * self.pages_per_block)
+        set_attr(self, "capacity_bytes",
+                 self.total_pages * self.page_size)
 
     def chip_id(self, channel: int, chip: int) -> int:
         """Flatten ``(channel, chip)`` into a global chip id."""
@@ -110,14 +116,22 @@ class NandGeometry:
 
     def address_of(self, ppn: int) -> PhysicalPageAddress:
         """Decode a flat physical page number into an address."""
-        if not (0 <= ppn < self.total_pages):
+        if not 0 <= ppn < self.total_pages:
             raise AddressError(f"ppn {ppn} out of range")
-        page = ppn % self.pages_per_block
-        block_global = ppn // self.pages_per_block
-        block = block_global % self.blocks_per_chip
-        cid = block_global // self.blocks_per_chip
-        channel, chip = self.chip_coords(cid)
-        return PhysicalPageAddress(channel, chip, block, page)
+        # open-coded divmods (no call, no intermediate 2-tuples) and
+        # tuple.__new__ to skip the NamedTuple __new__ wrapper: this is
+        # the per-read hot path and the fields are by-construction valid
+        ppb = self.pages_per_block
+        block_global = ppn // ppb
+        page = ppn - block_global * ppb
+        bpc = self.blocks_per_chip
+        cid = block_global // bpc
+        block = block_global - cid * bpc
+        cpc = self.chips_per_channel
+        channel = cid // cpc
+        chip = cid - channel * cpc
+        return tuple.__new__(PhysicalPageAddress,
+                             (channel, chip, block, page))
 
     def validate(self, addr: PhysicalPageAddress) -> None:
         """Raise :class:`AddressError` if ``addr`` is outside the device."""

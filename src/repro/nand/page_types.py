@@ -42,11 +42,16 @@ def page_index(wordline: int, ptype: PageType) -> int:
     return 2 * wordline + int(ptype)
 
 
+# Table lookup instead of enum construction: ``PageType(x)`` walks the
+# enum machinery and is measurable on the per-page-program hot path.
+_PAGE_TYPES: Tuple[PageType, PageType] = (PageType.LSB, PageType.MSB)
+
+
 def split_index(index: int) -> Tuple[int, PageType]:
     """Inverse of :func:`page_index`: return ``(wordline, ptype)``."""
     if index < 0:
         raise ValueError(f"page index must be non-negative, got {index}")
-    return index // 2, PageType(index % 2)
+    return index >> 1, _PAGE_TYPES[index & 1]
 
 
 def paired_index(index: int) -> int:

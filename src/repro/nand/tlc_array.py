@@ -27,8 +27,10 @@ class TlcGeometry(NandGeometry):
     ``pages_per_block`` must be divisible by 6 (the parent class
     requires LSB/MSB pairing arithmetic on even counts, and a TLC word
     line holds 3 pages).  ``wordlines_per_block`` is redefined to the
-    3-page grouping.
+    3-page grouping via :attr:`pages_per_wordline`.
     """
+
+    pages_per_wordline = 3
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -37,11 +39,6 @@ class TlcGeometry(NandGeometry):
                 "TLC pages_per_block must be divisible by 6, got "
                 f"{self.pages_per_block}"
             )
-
-    @property
-    def wordlines_per_block(self) -> int:  # type: ignore[override]
-        """Word lines per block (a third of the page count for TLC)."""
-        return self.pages_per_block // 3
 
 
 @dataclasses.dataclass(frozen=True)

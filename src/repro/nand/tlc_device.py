@@ -31,12 +31,14 @@ class TlcBlock:
     """One TLC erase block (three pages per word line)."""
 
     def __init__(self, block_id: int, wordlines: int,
-                 store_data: bool = False) -> None:
+                 store_data: bool = False,
+                 track_history: bool = True) -> None:
         if wordlines <= 0:
             raise ValueError(f"wordlines must be positive, got {wordlines}")
         self.block_id = block_id
         self.wordlines = wordlines
         self.store_data = store_data
+        self.track_history = track_history
         self.erase_count = 0
         self._programmed: List[bool] = [False] * (3 * wordlines)
         self._data: List[Optional[bytes]] = [None] * (3 * wordlines)
@@ -69,7 +71,8 @@ class TlcBlock:
         self._programmed[index] = True
         if self.store_data:
             self._data[index] = data
-        self.program_history.append(index)
+        if self.track_history:
+            self.program_history.append(index)
 
     def read(self, wordline: int, ptype: TlcPageType) -> Optional[bytes]:
         """Read a page back; unprogrammed pages raise ECC errors."""
@@ -94,13 +97,15 @@ class TlcChip:
     def __init__(self, chip_id: int, blocks: int,
                  wordlines_per_block: int,
                  scheme: TlcScheme = TlcScheme.RPS,
-                 store_data: bool = False) -> None:
+                 store_data: bool = False,
+                 track_history: bool = True) -> None:
         if blocks <= 0:
             raise ValueError(f"blocks must be positive, got {blocks}")
         self.chip_id = chip_id
         self.scheme = scheme
         self.blocks: List[TlcBlock] = [
-            TlcBlock(i, wordlines_per_block, store_data=store_data)
+            TlcBlock(i, wordlines_per_block, store_data=store_data,
+                     track_history=track_history)
             for i in range(blocks)
         ]
         self.programs = {ptype: 0 for ptype in TlcPageType}

@@ -1,0 +1,20 @@
+"""Throughput benchmarking for the simulation core.
+
+``repro perfbench`` times the discrete-event core on three canonical
+workloads (the Figure 8 write-dominant mix, a Zipf read/write mix and
+an endurance-style sequential rewrite loop) and reports simulator
+events per second and host operations per second.  It exists to keep
+the PR-2 core optimisations honest: the numbers it emits are the ones
+quoted in ``BENCH_PR2.json`` and guarded by the CI perf-smoke job.
+
+See :mod:`repro.perfbench.harness` for the measurement methodology and
+``docs/PERFORMANCE.md`` for how to interpret the results.
+"""
+
+from repro.perfbench.harness import (  # noqa: F401
+    BENCH_FTL,
+    WORKLOADS,
+    PerfbenchResult,
+    WorkloadTiming,
+    run_perfbench,
+)

@@ -1,0 +1,77 @@
+"""CLI registration of ``repro perfbench``.
+
+Registers the benchmark as a regular
+:class:`~repro.experiments.registry.Experiment`, so it shares the
+global flags (``--seed``, ``--json``) and dispatch loop with the
+paper experiments.  ``--jobs``/``--no-cache`` are accepted but have no
+effect: a throughput benchmark must run serially and uncached.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import registry
+from repro.experiments.engine import EngineOptions
+from repro.perfbench.harness import WORKLOADS, PerfbenchResult, run_perfbench
+
+#: ``--quick`` op-count multiplier: a CI-sized smoke run.
+QUICK_SCALE = 0.1
+
+
+def _cli_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated subset of "
+             f"{','.join(WORKLOADS)} (default: all)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="op-count multiplier (default 1.0)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke run: shorthand for --scale {QUICK_SCALE}")
+    parser.add_argument(
+        "--full-history", action="store_true",
+        help="keep per-block program histories (reliability-analysis "
+             "bookkeeping; off by default when benchmarking)")
+    parser.add_argument(
+        "--floor", type=float, default=None, metavar="EVENTS_PER_SEC",
+        help="exit 1 if the slowest workload falls below this rate")
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="run under cProfile and dump the stats to PATH "
+             "(distorts the reported rates)")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH "
+             "(e.g. BENCH_PR2.json)")
+
+
+def _cli_run(args: argparse.Namespace,
+             engine_options: EngineOptions) -> PerfbenchResult:
+    del engine_options  # serial by design; see module docstring
+    workloads = args.workloads.split(",") if args.workloads else None
+    scale = QUICK_SCALE if args.quick else args.scale
+    try:
+        return run_perfbench(
+            workloads=workloads,
+            scale=scale,
+            seed=args.seed,
+            track_history=args.full_history,
+            floor=args.floor,
+            profile_path=args.profile,
+            output_path=args.output,
+        )
+    except (KeyError, ValueError) as error:
+        raise registry.CliError(str(error.args[0])) from error
+
+
+registry.register(registry.Experiment(
+    name="perfbench",
+    help="core throughput benchmark (events/sec, host-ops/sec)",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=PerfbenchResult.render,
+    to_dict=PerfbenchResult.to_dict,
+    exit_code=lambda result: 0 if result.passed() else 1,
+))

@@ -1,0 +1,285 @@
+"""Measurement harness behind ``repro perfbench``.
+
+Methodology
+-----------
+
+Each workload is timed on a **fresh system** (new simulator, device and
+FTL) so runs are independent and deterministic.  The timed region
+covers the sequential-fill warm-up *and* the measured workload: the
+warm-up is itself write-pipeline work and excluding it would flatter
+configurations that shift cost into preconditioning.  The metric is
+simulator events per second (``sim.processed / wall``), the rate the
+event kernel retires scheduled events; host operations per second is
+reported alongside as the end-to-end number.
+
+By default the device is built with ``track_history=False`` — the
+per-block program-history lists exist for the reliability analyses and
+change no simulation outcome, so benchmarks opt out of the bookkeeping
+(``--full-history`` restores it; see ``docs/PERFORMANCE.md``).
+
+Wall-clock numbers are inherently noisy (+/-10% on a busy machine);
+compare medians of several runs, never single samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentConfig, build_system
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.workloads.benchmarks import WorkloadProfile, build_workload
+from repro.workloads.synthetic import sequential_fill
+
+#: The benchmarked FTL: flexFTL exercises the paper's full write
+#: pipeline (two-phase allocation, parity backup, quota) and is the
+#: hottest configuration of the core.
+BENCH_FTL = "flexFTL"
+
+#: Fraction of the logical space the benchmark workloads occupy
+#: (matches the Figure 8 evaluation utilisation).
+BENCH_UTILIZATION = 0.75
+
+#: Operations of the fig8/zipf workloads at ``--scale 1.0``.
+BASE_OPS = 8000
+
+#: Sequential rewrite passes of the endurance loop at ``--scale 1.0``.
+BASE_PASSES = 3
+
+#: 50/50 read/write Zipf mix: exercises the read path (mapping lookup,
+#: address decode, chip read) alongside the write pipeline.
+ZIPF_PROFILE = WorkloadProfile(
+    name="zipf-mix", read_fraction=0.5, intensiveness="very high",
+    streams=8, npages=2, think=0.0, zipf_s=1.0,
+)
+
+
+def _fig8_write(span: int, scale: float, seed: int
+                ) -> List[List[StreamOp]]:
+    ops = max(200, int(BASE_OPS * scale))
+    return build_workload("NTRX", span, total_ops=ops, seed=seed)
+
+
+def _zipf_mix(span: int, scale: float, seed: int
+              ) -> List[List[StreamOp]]:
+    ops = max(200, int(BASE_OPS * scale))
+    return build_workload("zipf-mix", span, total_ops=ops, seed=seed,
+                          profile=ZIPF_PROFILE)
+
+
+def _endurance_loop(span: int, scale: float, seed: int
+                    ) -> List[List[StreamOp]]:
+    passes = max(1, round(BASE_PASSES * scale))
+    loop: List[StreamOp] = []
+    for _ in range(passes):
+        loop.extend(sequential_fill(span))
+    return [loop]
+
+
+#: name -> stream builder ``(span, scale, seed) -> streams``, in
+#: canonical report order.
+WORKLOADS: Dict[str, Callable[[int, float, int], List[List[StreamOp]]]] = {
+    "fig8_write": _fig8_write,
+    "zipf_mix": _zipf_mix,
+    "endurance_loop": _endurance_loop,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadTiming:
+    """One timed workload run."""
+
+    name: str
+    events: int
+    host_ops: int
+    wall_seconds: float
+    events_per_sec: float
+    host_ops_per_sec: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class PerfbenchResult:
+    """All timed workloads of one ``repro perfbench`` invocation."""
+
+    timings: Dict[str, WorkloadTiming]
+    scale: float
+    span: int
+    track_history: bool
+    floor: Optional[float] = None
+    profile_path: Optional[str] = None
+
+    # -- summary -------------------------------------------------------
+
+    def min_events_per_sec(self) -> float:
+        """Slowest workload's event rate (what ``--floor`` tests)."""
+        return min(t.events_per_sec for t in self.timings.values())
+
+    def median_events_per_sec(self) -> float:
+        """Median event rate across the timed workloads."""
+        return statistics.median(
+            t.events_per_sec for t in self.timings.values())
+
+    def passed(self) -> bool:
+        """Whether the run met the ``--floor`` target (if any)."""
+        return self.floor is None or self.min_events_per_sec() >= self.floor
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection (the ``BENCH_PR2.json`` schema)."""
+        payload: Dict[str, object] = {
+            "ftl": BENCH_FTL,
+            "scale": self.scale,
+            "span": self.span,
+            "track_history": self.track_history,
+            "python": platform.python_version(),
+            "workloads": {name: t.to_dict()
+                          for name, t in self.timings.items()},
+            "summary": {
+                "min_events_per_sec": self.min_events_per_sec(),
+                "median_events_per_sec": self.median_events_per_sec(),
+            },
+        }
+        if self.floor is not None:
+            payload["floor"] = {
+                "events_per_sec": self.floor,
+                "passed": self.passed(),
+            }
+        return payload
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        """Text report: one row per workload plus the summary."""
+        header = (f"{'workload':16s} {'events':>10s} {'host ops':>10s} "
+                  f"{'wall [s]':>9s} {'events/s':>10s} {'host-ops/s':>11s}")
+        rows = [header, "-" * len(header)]
+        for t in self.timings.values():
+            rows.append(
+                f"{t.name:16s} {t.events:>10d} {t.host_ops:>10d} "
+                f"{t.wall_seconds:>9.3f} {t.events_per_sec:>10.0f} "
+                f"{t.host_ops_per_sec:>11.0f}"
+            )
+        rows.append("")
+        rows.append(
+            f"median {self.median_events_per_sec():.0f} events/s, "
+            f"min {self.min_events_per_sec():.0f} events/s "
+            f"(scale {self.scale:g}, track_history={self.track_history})"
+        )
+        if self.floor is not None:
+            verdict = "PASS" if self.passed() else "FAIL"
+            rows.append(
+                f"floor {self.floor:.0f} events/s: {verdict}"
+            )
+        if self.profile_path is not None:
+            rows.append(f"cProfile stats written to {self.profile_path}")
+        return "\n".join(rows)
+
+
+def time_workload(name: str, streams: Sequence[List[StreamOp]],
+                  config: ExperimentConfig,
+                  warmup_span: int) -> WorkloadTiming:
+    """Time one workload on a freshly built system.
+
+    The warm-up fill runs inside the timed region (see the module
+    docstring); ``events`` counts every kernel event of fill plus
+    workload, ``host_ops`` every host request of both phases.
+    """
+    sim, _array, _buffer, _ftl, controller = build_system(BENCH_FTL,
+                                                          config)
+    host_ops = sum(len(s) for s in streams)
+    start = time.perf_counter()
+    fill = sequential_fill(warmup_span)
+    warm = ClosedLoopHost(sim, controller, [fill])
+    warm.start()
+    sim.run()
+    host = ClosedLoopHost(sim, controller, list(streams))
+    host.start()
+    sim.run()
+    wall = time.perf_counter() - start
+    total_ops = host_ops + len(fill)
+    return WorkloadTiming(
+        name=name,
+        events=sim.processed,
+        host_ops=total_ops,
+        wall_seconds=wall,
+        events_per_sec=sim.processed / wall,
+        host_ops_per_sec=total_ops / wall,
+    )
+
+
+def run_perfbench(
+    workloads: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    track_history: bool = False,
+    floor: Optional[float] = None,
+    profile_path: Optional[str] = None,
+    output_path: Optional[str] = None,
+) -> PerfbenchResult:
+    """Run the throughput benchmark.
+
+    Args:
+        workloads: subset of :data:`WORKLOADS` (default: all three).
+        scale: op-count multiplier (``--quick`` uses 0.1).
+        seed: workload generation seed.
+        track_history: keep per-block program histories (default off:
+            they change no simulation outcome, only memory traffic).
+        floor: minimum acceptable events/sec; recorded in the result
+            and reflected in :meth:`PerfbenchResult.passed`.
+        profile_path: when given, the whole benchmark runs under
+            :mod:`cProfile` and the stats are dumped here (wall-clock
+            numbers are then distorted by profiler overhead — use for
+            hotspot hunting, not for rates).
+        output_path: when given, the JSON projection is written here
+            (this is how ``BENCH_PR2.json`` is produced).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    names = list(workloads) if workloads else list(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            raise KeyError(
+                f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+            )
+    config = ExperimentConfig(track_history=track_history)
+    _, _, _, probe, _ = build_system(BENCH_FTL, config)
+    span = max(1, int(probe.logical_pages * BENCH_UTILIZATION))
+
+    profiler = None
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        timings = {
+            name: time_workload(name, WORKLOADS[name](span, scale, seed),
+                                config, span)
+            for name in names
+        }
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+
+    result = PerfbenchResult(
+        timings=timings,
+        scale=scale,
+        span=span,
+        track_history=track_history,
+        floor=floor,
+        profile_path=profile_path,
+    )
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result

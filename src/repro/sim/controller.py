@@ -12,14 +12,21 @@ semantics); read requests complete when their last page is read.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
+from heapq import heappush
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.nand.array import NandArray
 from repro.sim.kernel import Simulator
 from repro.sim.ops import FlashOp, OpKind
-from repro.sim.queues import Request, RequestKind, WriteBuffer
+from repro.sim.queues import BufferedWrite, Request, RequestKind, WriteBuffer
 from repro.sim.stats import SimStats
+
+# OpKind members hoisted to module level for the dispatch hot path
+_PROGRAM = OpKind.PROGRAM
+_READ = OpKind.READ
+_new = object.__new__
 
 
 class StorageController:
@@ -41,11 +48,36 @@ class StorageController:
         self.write_buffer = write_buffer
         self.stats = stats or SimStats(page_size=self.geometry.page_size)
 
-        chips = self.geometry.total_chips
+        # geometry scalars cached as plain ints: the pump loop reads
+        # them once per dispatch attempt
+        self._total_chips = self.geometry.total_chips
+        self._chips_per_channel = self.geometry.chips_per_channel
+        self._pages_per_chip = self.geometry.pages_per_chip
+
+        chips = self._total_chips
         self._busy: List[bool] = [False] * chips
+        #: idle chip ids in ascending order; the pump iterates this
+        #: instead of scanning (and mostly skipping) every chip
+        self._idle: List[int] = list(range(chips))
         self._channel_free: List[float] = [0.0] * self.geometry.channels
+        self._t_transfer = self.timing.t_transfer
+        # array bound methods cached: the array reference never changes
+        # after construction (polymorphic dispatch is preserved — these
+        # are the subclass's bound methods)
+        self._array_program = array.program
+        self._array_read = array.read
+        self._array_erase = array.erase
+        # BaseFtl.lookup is a pure delegation to mapping.lookup and no
+        # FTL overrides it; bind the mapping method directly
+        self._ftl_lookup = ftl.mapping.lookup
+        #: ftl.next_op bound once (the ftl reference never changes and
+        #: next_op is never monkey-patched; _execute stays late-bound
+        #: because tracing *does* patch it)
+        self._ftl_next_op = ftl.next_op
         self._read_queues: List[Deque[Tuple[int, Request]]] = \
             [deque() for _ in range(chips)]
+        #: total entries across all read queues (keeps host_idle O(1))
+        self._queued_reads = 0
         self._admissions: Deque[Request] = deque()
         self._pumping = False
         #: op currently executing per chip (power-loss tooling inspects it)
@@ -56,7 +88,11 @@ class StorageController:
 
     def submit(self, request: Request) -> None:
         """Accept one host request at the current simulation time."""
-        self.stats.note_arrival(request)
+        # stats.note_arrival, inlined (once per host request)
+        stats = self.stats
+        first = stats.first_arrival
+        if first is None or request.time < first:
+            stats.first_arrival = request.time
         request.submitted_at = self.sim.now
         if request.kind is RequestKind.READ:
             self._submit_read(request)
@@ -71,9 +107,8 @@ class StorageController:
 
     def host_idle(self) -> bool:
         """No outstanding host I/O anywhere in the device."""
-        if self._admissions or not self.write_buffer.is_empty:
-            return False
-        return all(not queue for queue in self._read_queues)
+        return not (self._admissions or self._queued_reads
+                    or len(self.write_buffer))
 
     # ------------------------------------------------------------------
     # internals
@@ -86,13 +121,14 @@ class StorageController:
                 self.stats.buffer_read_hits += 1
                 request.pages_remaining -= 1
                 continue
-            ppn = self.ftl.lookup(lpn)
+            ppn = self._ftl_lookup(lpn)
             if ppn is None:
                 # Never-written page: served as zeroes, no NAND access.
                 request.pages_remaining -= 1
                 continue
-            chip_id = ppn // self.geometry.pages_per_chip
+            chip_id = ppn // self._pages_per_chip
             self._read_queues[chip_id].append((lpn, request))
+            self._queued_reads += 1
             touched.append(chip_id)
         if request.pages_remaining == 0:
             self._complete_request(request)
@@ -103,35 +139,130 @@ class StorageController:
             request.on_complete(request, self.sim.now)
 
     def _pump(self) -> None:
-        """Drive admissions and chip dispatch to a fixed point."""
+        """Drive admissions and chip dispatch to a fixed point.
+
+        The loop body open-codes :meth:`_dispatch` (minus its busy
+        guard, already checked here): this runs after every completed
+        flash operation and the extra call layers were measurable.
+        """
         if self._pumping:
             return
         self._pumping = True
         try:
+            # The prologue is deliberately tiny: a typical pump visits
+            # one or two idle chips, so per-pump setup dominates; the
+            # rarely-used bindings are reached through self instead.
+            idle = self._idle
+            read_queues = self._read_queues
+            ftl_next_op = self._ftl_next_op
+            admissions = self._admissions
+            buffer = self.write_buffer
+            capacity = buffer.capacity
+            # the clock cannot advance mid-pump: hoist it
+            now = self.sim.now
             progress = True
             while progress:
-                progress = self._drain_admissions()
-                for chip_id in range(self.geometry.total_chips):
-                    if not self._busy[chip_id]:
-                        progress = self._dispatch(chip_id) or progress
+                progress = bool(admissions) \
+                    and buffer._live < capacity \
+                    and self._drain_admissions()
+                # snapshot: _execute prunes self._idle while we iterate
+                for chip_id in tuple(idle):
+                    read_request: Optional[Request] = None
+                    if read_queues[chip_id]:
+                        op, read_request = self._next_read_op(chip_id)
+                    else:
+                        op = None
+                    if op is None:
+                        op = ftl_next_op(chip_id, now)
+                    # host_idle(), inlined
+                    if op is None \
+                            and not (admissions or self._queued_reads
+                                     or buffer._live) \
+                            and self.ftl.wants_background_gc(chip_id):
+                        op = self.ftl.background_op(chip_id, now)
+                    if op is None:
+                        continue
+                    self._execute(chip_id, op, read_request)
+                    progress = True
         finally:
             self._pumping = False
 
     def _drain_admissions(self) -> bool:
-        progress = False
-        while self._admissions and not self.write_buffer.is_full:
-            request = self._admissions[0]
-            while request.pages_remaining > 0 \
-                    and not self.write_buffer.is_full:
-                offset = request.npages - request.pages_remaining
-                self.write_buffer.push(request.lpn + offset, self.sim.now,
-                                       request)
-                request.pages_remaining -= 1
-                self.stats.note_host_page_write(self.sim.now)
-                progress = True
-            if request.pages_remaining > 0:
+        buffer = self.write_buffer
+        if buffer.coalesce:
+            return self._drain_admissions_general()
+        # Fast path with WriteBuffer.push and the per-page stats call
+        # open-coded: without coalescing a push can never go stale, and
+        # the clock is fixed for the whole drain, so every admitted
+        # page lands in the same bandwidth bucket.  Keep in sync with
+        # :meth:`repro.sim.queues.WriteBuffer.push` and
+        # :meth:`repro.sim.stats.SimStats.note_host_page_write`.
+        capacity = buffer.capacity
+        admissions = self._admissions
+        now = self.sim.now
+        fifo = buffer._fifo
+        resident = buffer._resident
+        live = buffer._live
+        pushed = 0
+        while admissions and live < capacity:
+            request = admissions[0]
+            remaining = request.pages_remaining
+            next_lpn = request.lpn + request.npages - remaining
+            while remaining > 0 and live < capacity:
+                # BufferedWrite built via object.__new__ + slot stores:
+                # skips the dataclass __init__ frame (per admitted page)
+                entry = _new(BufferedWrite)
+                entry.lpn = next_lpn
+                entry.enqueued_at = now
+                entry.request = request
+                fifo.append(entry)
+                resident[next_lpn] = resident.get(next_lpn, 0) + 1
+                next_lpn += 1
+                live += 1
+                remaining -= 1
+                pushed += 1
+            request.pages_remaining = remaining
+            if remaining > 0:
                 break
-            self._admissions.popleft()
+            admissions.popleft()
+            # publish the level before the completion callback runs
+            # (hosts may submit follow-on requests from it)
+            buffer._live = live
+            self._complete_request(request)
+            live = buffer._live
+        buffer._live = live
+        if not pushed:
+            return False
+        stats = self.stats
+        stats.written_pages += pushed
+        bandwidth = stats.write_bandwidth
+        buckets = bandwidth._buckets
+        bucket = int(now / bandwidth.window)
+        buckets[bucket] = buckets.get(bucket, 0) + pushed * stats.page_size
+        return True
+
+    def _drain_admissions_general(self) -> bool:
+        progress = False
+        buffer = self.write_buffer
+        capacity = buffer.capacity
+        push = buffer.push
+        admissions = self._admissions
+        now = self.sim.now
+        note_page = self.stats.note_host_page_write
+        while admissions and buffer._live < capacity:
+            request = admissions[0]
+            remaining = request.pages_remaining
+            lpn = request.lpn
+            npages = request.npages
+            while remaining > 0 and buffer._live < capacity:
+                push(lpn + npages - remaining, now, request)
+                remaining -= 1
+                note_page(now)
+                progress = True
+            request.pages_remaining = remaining
+            if remaining > 0:
+                break
+            admissions.popleft()
             self._complete_request(request)
         return progress
 
@@ -140,9 +271,10 @@ class StorageController:
         queue = self._read_queues[chip_id]
         while queue:
             lpn, request = queue.popleft()
-            ppn = self.ftl.lookup(lpn)
+            self._queued_reads -= 1
+            ppn = self._ftl_lookup(lpn)
             if ppn is None or self.write_buffer.contains(lpn) \
-                    or ppn // self.geometry.pages_per_chip != chip_id:
+                    or ppn // self._pages_per_chip != chip_id:
                 # Superseded or relocated since queueing: data is
                 # available elsewhere without touching this chip.
                 self._complete_read_page(request)
@@ -161,7 +293,11 @@ class StorageController:
     def _dispatch(self, chip_id: int) -> bool:
         if self._busy[chip_id]:
             return False
-        op, read_request = self._next_read_op(chip_id)
+        read_request: Optional[Request] = None
+        if self._read_queues[chip_id]:
+            op, read_request = self._next_read_op(chip_id)
+        else:
+            op = None
         if op is None:
             op = self.ftl.next_op(chip_id, self.sim.now)
         if op is None and self.host_idle() \
@@ -174,34 +310,92 @@ class StorageController:
 
     def _execute(self, chip_id: int, op: FlashOp,
                  read_request: Optional[Request]) -> None:
-        now = self.sim.now
-        channel = chip_id // self.geometry.chips_per_channel
-        if op.kind is OpKind.ERASE:
-            latency = self.array.erase(op.addr.channel, op.addr.chip,
-                                       op.addr.block)
-            total = latency
+        sim = self.sim
+        now = sim.now
+        kind = op.kind
+        if kind is _PROGRAM:
+            channel = chip_id // self._chips_per_channel
+            channel_free = self._channel_free
+            start = channel_free[channel]
+            if start < now:
+                start = now
+            t_transfer = self._t_transfer
+            channel_free[channel] = start + t_transfer
+            latency = self._array_program(op.addr, op.data)
+            total = (start - now) + t_transfer + latency
+        elif kind is _READ:
+            channel = chip_id // self._chips_per_channel
+            channel_free = self._channel_free
+            start = channel_free[channel]
+            if start < now:
+                start = now
+            t_transfer = self._t_transfer
+            channel_free[channel] = start + t_transfer
+            _, latency = self._array_read(op.addr)
+            total = (start - now) + t_transfer + latency
         else:
-            start = max(now, self._channel_free[channel])
-            self._channel_free[channel] = start + self.timing.t_transfer
-            if op.kind is OpKind.PROGRAM:
-                latency = self.array.program(op.addr, op.data)
-            else:
-                _, latency = self.array.read(op.addr)
-            total = (start - now) + self.timing.t_transfer + latency
+            total = self._array_erase(op.addr.channel, op.addr.chip,
+                                      op.addr.block)
         self._busy[chip_id] = True
+        self._idle.remove(chip_id)
         self.in_flight[chip_id] = op
-        self.sim.schedule(total, self._on_op_done, chip_id, op,
-                          read_request)
+        # Simulator.schedule, open-coded (one completion event per
+        # executed op; keep in sync with repro.sim.kernel — ``total``
+        # is always non-negative, so the delay check is skipped).  A
+        # plain list is pushed instead of an Event: nothing ever holds
+        # a handle to a completion event, the kernel treats entries as
+        # flat lists, and the heap compares them identically.
+        heappush(sim._queue,
+                 [now + total, 0, next(sim._seq), self._on_op_done,
+                  (chip_id, op, read_request), False, sim._cancelled])
 
     def _on_op_done(self, chip_id: int, op: FlashOp,
                     read_request: Optional[Request]) -> None:
         self._busy[chip_id] = False
+        insort(self._idle, chip_id)
         self.in_flight.pop(chip_id, None)
         if op.on_complete is not None:
             op.on_complete(self.sim.now)
         if read_request is not None:
             self._complete_read_page(read_request)
-        self._pump()
+        # _pump(), open-coded (this is the kernel's only callback in
+        # steady state and the extra frame was measurable).  Keep the
+        # body in sync with :meth:`_pump`.
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            idle = self._idle
+            read_queues = self._read_queues
+            ftl_next_op = self._ftl_next_op
+            admissions = self._admissions
+            buffer = self.write_buffer
+            capacity = buffer.capacity
+            now = self.sim.now
+            progress = True
+            while progress:
+                progress = bool(admissions) \
+                    and buffer._live < capacity \
+                    and self._drain_admissions()
+                for cid in tuple(idle):
+                    rreq: Optional[Request] = None
+                    if read_queues[cid]:
+                        next_op, rreq = self._next_read_op(cid)
+                    else:
+                        next_op = None
+                    if next_op is None:
+                        next_op = ftl_next_op(cid, now)
+                    if next_op is None \
+                            and not (admissions or self._queued_reads
+                                     or buffer._live) \
+                            and self.ftl.wants_background_gc(cid):
+                        next_op = self.ftl.background_op(cid, now)
+                    if next_op is None:
+                        continue
+                    self._execute(cid, next_op, rreq)
+                    progress = True
+        finally:
+            self._pumping = False
 
     def _complete_read_page(self, request: Request) -> None:
         request.pages_remaining -= 1

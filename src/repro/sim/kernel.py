@@ -3,6 +3,14 @@
 A single global event queue ordered by ``(time, priority, seq)``.
 Events carry a plain callback; cancellation is lazy (a flag checked at
 pop time), which keeps the heap operations O(log n).
+
+The queue stores flat mutable heap entries — ``[time, priority, seq,
+fn, args, cancelled, cancel_counter]`` — and :class:`Event`, the handle
+:meth:`Simulator.schedule` returns, *is* the heap entry (a ``list``
+subclass).  Ordering therefore uses C-level list comparison instead of
+a Python ``__lt__`` per heap swap, and scheduling allocates exactly one
+object per event.  ``seq`` is unique, so a comparison never reaches the
+callback slot.
 """
 
 from __future__ import annotations
@@ -11,32 +19,77 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+# Heap-entry slot indices.
+_TIME, _PRIORITY, _SEQ, _FN, _ARGS, _CANCELLED, _COUNTER = range(7)
 
-class Event:
-    """A scheduled callback.  Create via :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+def callable_label(fn: object) -> str:
+    """Best-effort printable name for an event callback.
 
-    def __init__(self, time: float, priority: int, seq: int,
-                 fn: Callable[..., None], args: "tuple[Any, ...]") -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+    Plain functions and bound methods have a ``__name__``; wrappers like
+    ``functools.partial`` do not, and fall back to their ``repr``.
+    """
+    return getattr(fn, "__name__", repr(fn))
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) \
-            < (other.time, other.priority, other.seq)
+
+class Event(list):
+    """A scheduled callback.  Create via :meth:`Simulator.schedule`.
+
+    The instance doubles as its own heap entry; the public attributes
+    are read-only views onto the entry slots.  The last slot aliases the
+    simulator's live cancellation counter while the event is queued (it
+    is detached once the event fires or its cancellation is collected),
+    which keeps :attr:`Simulator.pending` O(1).
+    """
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        """Absolute firing time."""
+        return self[_TIME]
+
+    @property
+    def priority(self) -> int:
+        """Tie-break priority (lower fires first)."""
+        return self[_PRIORITY]
+
+    @property
+    def seq(self) -> int:
+        """Scheduling sequence number (FIFO tie-break)."""
+        return self[_SEQ]
+
+    @property
+    def fn(self) -> Callable[..., None]:
+        """The scheduled callback."""
+        return self[_FN]
+
+    @property
+    def args(self) -> "tuple[Any, ...]":
+        """Arguments the callback fires with."""
+        return self[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self[_CANCELLED]
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
-        self.cancelled = True
+        """Mark the event so it is skipped when popped.
+
+        Safe to call more than once, after the event has fired, and
+        after a :meth:`Simulator.halt` dropped the queue.
+        """
+        if not self[_CANCELLED]:
+            self[_CANCELLED] = True
+            counter = self[_COUNTER]
+            if counter is not None:
+                counter[0] += 1
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.6f}, {self.fn.__name__}, {state})"
+        state = "cancelled" if self[_CANCELLED] else "pending"
+        return (f"Event(t={self[_TIME]:.6f}, "
+                f"{callable_label(self[_FN])}, {state})")
 
 
 class Simulator:
@@ -46,6 +99,10 @@ class Simulator:
         self.now = 0.0
         self._queue: List[Event] = []
         self._seq = itertools.count()
+        #: one-slot mutable cell counting cancelled-but-still-queued
+        #: events; shared with every queued Event so ``cancel`` can
+        #: update it without holding a simulator reference.
+        self._cancelled = [0]
         self.processed = 0
 
     def schedule_at(self, time: float, fn: Callable[..., None],
@@ -53,13 +110,15 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``.
 
         Scheduling in the past raises ``ValueError`` — that is always a
-        modelling bug, never a feature.
+        modelling bug, never a feature.  Scheduling exactly at ``now``
+        is allowed (the event fires before time advances).
         """
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at {time} before now ({self.now})"
             )
-        event = Event(time, priority, next(self._seq), fn, args)
+        event = Event((time, priority, next(self._seq), fn, args, False,
+                       self._cancelled))
         heapq.heappush(self._queue, event)
         return event
 
@@ -68,37 +127,49 @@ class Simulator:
         """Schedule ``fn(*args)`` after a relative ``delay``."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self.now + delay, fn, *args,
-                                priority=priority)
+        event = Event((self.now + delay, priority, next(self._seq), fn,
+                       args, False, self._cancelled))
+        heapq.heappush(self._queue, event)
+        return event
 
     @property
     def pending(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
-        return len(self._queue)
+        """Number of *live* (not cancelled) events still queued."""
+        return len(self._queue) - self._cancelled[0]
 
     def halt(self) -> None:
         """Drop every queued event (e.g. a sudden power-off).
 
         The clock stays where it is; nothing scheduled before the halt
         will fire.  New events may be scheduled afterwards (a reboot).
+        Handles to dropped events stay valid: cancelling one is a no-op
+        (their counter cell is abandoned, not the live one).
         """
         self._queue.clear()
+        self._cancelled = [0]
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][_CANCELLED]:
+            entry = heapq.heappop(queue)
+            entry[_COUNTER][0] -= 1
+            entry[_COUNTER] = None
+        return queue[0][_TIME] if queue else None
 
     def step(self) -> bool:
         """Run the next live event; returns False when none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if entry[_CANCELLED]:
+                entry[_COUNTER][0] -= 1
+                entry[_COUNTER] = None
                 continue
-            self.now = event.time
+            entry[_COUNTER] = None
+            self.now = entry[_TIME]
             self.processed += 1
-            event.fn(*event.args)
+            entry[_FN](*entry[_ARGS])
             return True
         return False
 
@@ -106,15 +177,40 @@ class Simulator:
             max_events: Optional[int] = None) -> None:
         """Run events until the queue empties, ``until`` is reached, or
         ``max_events`` have been processed (a runaway-loop backstop)."""
-        count = 0
-        while True:
-            if max_events is not None and count >= max_events:
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None and max_events is None:
+            # Run-to-exhaustion fast path: no bound checks per event.
+            # Semantically the general loop below with both guards
+            # stripped; keep the pop/cancel handling in sync.
+            while queue:
+                entry = pop(queue)
+                if entry[_CANCELLED]:
+                    entry[_COUNTER][0] -= 1
+                    entry[_COUNTER] = None
+                    continue
+                entry[_COUNTER] = None
+                self.now = entry[_TIME]
+                self.processed += 1
+                entry[_FN](*entry[_ARGS])
+            return
+        remaining = -1 if max_events is None else max_events
+        while queue:
+            entry = queue[0]
+            if entry[_CANCELLED]:
+                pop(queue)
+                entry[_COUNTER][0] -= 1
+                entry[_COUNTER] = None
+                continue
+            if remaining == 0:
                 return
-            next_time = self.peek_time()
-            if next_time is None:
-                return
-            if until is not None and next_time > until:
+            time = entry[_TIME]
+            if until is not None and time > until:
                 self.now = until
                 return
-            self.step()
-            count += 1
+            pop(queue)
+            entry[_COUNTER] = None
+            self.now = time
+            self.processed += 1
+            entry[_FN](*entry[_ARGS])
+            remaining -= 1

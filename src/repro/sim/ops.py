@@ -23,7 +23,7 @@ class OpKind(enum.Enum):
     ERASE = "erase"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FlashOp:
     """One physical NAND operation plus scheduling metadata.
 

@@ -21,7 +21,7 @@ class RequestKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Request:
     """One host I/O request covering ``npages`` consecutive pages.
 
@@ -63,7 +63,7 @@ class Request:
         return self.completed_at - self.time
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BufferedWrite:
     """One page-sized write waiting in the write buffer."""
 
@@ -98,24 +98,28 @@ class WriteBuffer:
         self._fifo: Deque[BufferedWrite] = deque()
         self._resident: Dict[int, int] = {}
         self._stale: Dict[int, int] = {}  # lpn -> stale copies to skip
+        #: live (non-stale) entries; kept as a counter because the
+        #: controller probes the buffer level on every dispatch, which
+        #: makes a recomputed ``len()`` the simulation's hottest call.
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._fifo) - sum(self._stale.values())
+        return self._live
 
     @property
     def utilization(self) -> float:
         """Occupied fraction ``u`` in [0, 1] (live pages only)."""
-        return len(self) / self.capacity
+        return self._live / self.capacity
 
     @property
     def is_full(self) -> bool:
         """True when no further page can be admitted."""
-        return len(self) >= self.capacity
+        return self._live >= self.capacity
 
     @property
     def is_empty(self) -> bool:
         """True when there is nothing to drain."""
-        return len(self) == 0
+        return self._live == 0
 
     def contains(self, lpn: int) -> bool:
         """Whether a live write for ``lpn`` is buffered (read hit)."""
@@ -124,16 +128,18 @@ class WriteBuffer:
     def push(self, lpn: int, now: float,
              request: Optional[Request] = None) -> BufferedWrite:
         """Admit one page write; raises when full (caller must check)."""
-        if self.is_full:
+        if self._live >= self.capacity:
             raise OverflowError("write buffer is full")
         entry = BufferedWrite(lpn, now, request)
         if self.coalesce and lpn in self._resident:
             # The older buffered copy is superseded in place: it will
-            # be skipped on pop and never reaches flash.
+            # be skipped on pop and never reaches flash.  One entry
+            # joins, one goes stale: the live count is unchanged.
             self._stale[lpn] = self._stale.get(lpn, 0) + 1
             self.coalesced_writes += 1
         else:
             self._resident[lpn] = self._resident.get(lpn, 0) + 1
+            self._live += 1
         self._fifo.append(entry)
         return entry
 
@@ -154,20 +160,25 @@ class WriteBuffer:
 
     def pop(self) -> BufferedWrite:
         """Remove and return the oldest *live* buffered write."""
-        self._drop_stale_head()
+        if self._stale:  # stale marks exist only with coalescing on
+            self._drop_stale_head()
         if not self._fifo:
             raise IndexError("write buffer is empty")
         entry = self._fifo.popleft()
-        remaining = self._resident[entry.lpn] - 1
+        lpn = entry.lpn
+        resident = self._resident
+        remaining = resident[lpn] - 1
         if remaining:
-            self._resident[entry.lpn] = remaining
+            resident[lpn] = remaining
         else:
-            del self._resident[entry.lpn]
+            del resident[lpn]
+        self._live -= 1
         return entry
 
     def peek(self) -> BufferedWrite:
         """Return the oldest live buffered write without removing it."""
-        self._drop_stale_head()
+        if self._stale:
+            self._drop_stale_head()
         if not self._fifo:
             raise IndexError("write buffer is empty")
         return self._fifo[0]

@@ -112,7 +112,11 @@ class SimStats:
     def note_host_page_write(self, time: float) -> None:
         """Record one host page admitted/written at ``time``."""
         self.written_pages += 1
-        self.write_bandwidth.record(time, self.page_size)
+        # WindowedBandwidth.record, inlined (once per host page)
+        bandwidth = self.write_bandwidth
+        buckets = bandwidth._buckets
+        bucket = int(time / bandwidth.window)
+        buckets[bucket] = buckets.get(bucket, 0) + self.page_size
 
     def note_request_complete(self, request: Request, time: float) -> None:
         """Record a host request completion."""

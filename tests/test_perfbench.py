@@ -1,0 +1,120 @@
+"""Tests for repro.perfbench: the core throughput benchmark."""
+
+import json
+import pstats
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+from repro.perfbench.harness import WORKLOADS, run_perfbench
+
+#: Smallest meaningful run: op floors kick in, the warm-up fill still
+#: dominates, each workload finishes in well under a second.
+TINY = dict(scale=0.01, workloads=["fig8_write"])
+
+
+class TestHarness:
+    def test_all_workloads_timed(self):
+        result = run_perfbench(scale=0.01)
+        assert set(result.timings) == set(WORKLOADS)
+        for timing in result.timings.values():
+            assert timing.events > 0
+            assert timing.host_ops > 0
+            assert timing.wall_seconds > 0
+            assert timing.events_per_sec > 0
+            assert timing.host_ops_per_sec > 0
+
+    def test_workload_subset_and_order(self):
+        result = run_perfbench(scale=0.01,
+                               workloads=["zipf_mix", "fig8_write"])
+        assert list(result.timings) == ["zipf_mix", "fig8_write"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_perfbench(scale=0.01, workloads=["nope"])
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_perfbench(scale=0.0)
+
+    def test_summary_and_floor(self):
+        result = run_perfbench(**TINY, floor=1.0)
+        assert result.passed()
+        assert result.min_events_per_sec() <= result.median_events_per_sec()
+        failing = run_perfbench(**TINY, floor=1e12)
+        assert not failing.passed()
+
+    def test_json_projection_schema(self):
+        result = run_perfbench(**TINY, floor=1.0)
+        payload = result.to_dict()
+        assert payload["ftl"] == "flexFTL"
+        assert payload["track_history"] is False
+        assert set(payload["workloads"]) == {"fig8_write"}
+        assert payload["summary"]["min_events_per_sec"] > 0
+        assert payload["floor"]["passed"] is True
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_output_file_written(self, tmp_path):
+        out = tmp_path / "bench.json"
+        result = run_perfbench(**TINY, output_path=str(out))
+        assert json.loads(out.read_text()) == json.loads(
+            json.dumps(result.to_dict()))
+
+    def test_profile_stats_dumped(self, tmp_path):
+        prof = tmp_path / "bench.prof"
+        result = run_perfbench(**TINY, profile_path=str(prof))
+        assert result.profile_path == str(prof)
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+
+    def test_render_mentions_every_workload(self):
+        result = run_perfbench(scale=0.01)
+        report = result.render()
+        for name in WORKLOADS:
+            assert name in report
+        assert "events/s" in report
+
+    def test_deterministic_event_counts(self):
+        first = run_perfbench(**TINY)
+        second = run_perfbench(**TINY)
+        one, two = (r.timings["fig8_write"] for r in (first, second))
+        assert one.events == two.events
+        assert one.host_ops == two.host_ops
+
+
+class TestCli:
+    def test_registered_in_registry(self):
+        assert "perfbench" in {e.name for e in registry.all_experiments()}
+
+    def test_quick_run(self, capsys):
+        assert main(["perfbench", "--quick",
+                     "--workloads", "fig8_write"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_write" in out
+        assert "events/s" in out
+
+    def test_json_output(self, capsys):
+        assert main(["perfbench", "--scale", "0.01",
+                     "--workloads", "fig8_write", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scale"] == 0.01
+        assert "fig8_write" in payload["workloads"]
+
+    def test_floor_failure_exit_code(self, capsys):
+        argv = ["perfbench", "--scale", "0.01",
+                "--workloads", "fig8_write", "--floor"]
+        assert main(argv + ["1"]) == 0
+        assert main(argv + ["1000000000000"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_workload_is_a_cli_error(self, capsys):
+        assert main(["perfbench", "--workloads", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_full_history_flag(self, capsys):
+        assert main(["perfbench", "--scale", "0.01",
+                     "--workloads", "fig8_write",
+                     "--full-history", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["track_history"] is True

@@ -105,3 +105,114 @@ class TestRunControls:
             sim.schedule(i * 0.1, lambda: None)
         sim.run()
         assert sim.processed == 5
+
+
+class TestEdgeCases:
+    """Corner cases of the flat-heap kernel rewrite."""
+
+    def test_cancel_after_halt_is_a_noop(self):
+        sim = Simulator()
+        dropped = sim.schedule(0.5, lambda: None)
+        sim.schedule(0.7, lambda: None)
+        sim.halt()
+        assert sim.pending == 0
+        # The handle outlives the queue; cancelling it must not corrupt
+        # the (fresh) cancellation counter of the rebooted simulator.
+        dropped.cancel()
+        dropped.cancel()
+        assert dropped.cancelled
+        assert sim.pending == 0
+        fired = []
+        sim.schedule(0.1, fired.append, "post-reboot")
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["post-reboot"]
+        assert sim.pending == 0
+
+    def test_halt_discards_pending_cancellations(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None).cancel()
+        sim.schedule(0.2, lambda: None).cancel()
+        sim.halt()
+        live = sim.schedule(0.3, lambda: None)
+        assert sim.pending == 1
+        live.cancel()
+        assert sim.pending == 0
+
+    def test_schedule_at_exactly_now_fires_before_time_advances(self):
+        sim = Simulator()
+        fired = []
+
+        def reschedule():
+            sim.schedule_at(sim.now, fired.append, sim.now)
+
+        sim.schedule(0.5, reschedule)
+        sim.schedule(0.6, fired.append, "later")
+        sim.run()
+        assert fired == [0.5, "later"]
+
+    def test_run_until_between_events_parks_the_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.run(until=0.25)
+        assert sim.now == 0.25
+        assert fired == []
+        sim.run(until=0.75)
+        assert sim.now == 0.75
+        assert fired == []
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_run_until_exactly_at_event_time_fires_it(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, fired.append, "at")
+        sim.schedule(0.8, fired.append, "after")
+        sim.run(until=0.5)
+        assert fired == ["at"]
+        assert sim.now == 0.5
+
+    def test_tie_break_is_fifo_across_schedule_flavours(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.2, fired.append, "a")
+        sim.schedule_at(0.2, fired.append, "b")
+        sim.schedule(0.2, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_tie_break_survives_interleaved_cancellation(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.2, fired.append, "a")
+        victim = sim.schedule(0.2, fired.append, "b")
+        sim.schedule(0.2, fired.append, "c")
+        victim.cancel()
+        assert sim.pending == 2
+        sim.run()
+        assert fired == ["a", "c"]
+        assert sim.pending == 0
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1 * (i + 1), lambda: None)
+                  for i in range(4)]
+        assert sim.pending == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending == 2
+        events[0].cancel()  # double-cancel must not double-count
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_repr_handles_unnamed_callables(self):
+        import functools
+
+        sim = Simulator()
+        event = sim.schedule(0.1, functools.partial(print, "x"))
+        assert "pending" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)
