@@ -236,6 +236,22 @@ def _run_tlc_cell(**params: Any) -> Any:
     return run_tlc_workload(**params)
 
 
+def _run_qos_cell(**params: Any) -> Any:
+    from repro.qos.runner import run_qos_workload
+
+    return run_qos_workload(**params)
+
+
+def _encode_qos(result: Any) -> Dict[str, Any]:
+    return result.to_dict()
+
+
+def _decode_qos(data: Dict[str, Any]) -> Any:
+    from repro.qos.runner import QosRunResult
+
+    return QosRunResult.from_dict(data)
+
+
 def _encode_tlc(result: Any) -> Dict[str, Any]:
     return result.to_dict()
 
@@ -252,6 +268,8 @@ register_executor("workload", _run_workload_cell,
 register_executor("reliability", _run_reliability_cell)
 register_executor("tlc_workload", _run_tlc_cell,
                   encode=_encode_tlc, decode=_decode_tlc)
+register_executor("qos_workload", _run_qos_cell,
+                  encode=_encode_qos, decode=_decode_qos)
 
 
 def workload_cell(

@@ -76,8 +76,8 @@ def get(name: str) -> Experiment:
 #: Canonical CLI subcommand order (the historical help order); any
 #: experiment not listed appears afterwards in registration order.
 CLI_ORDER = ("table1", "fig4", "fig8", "recovery", "ablation",
-             "endurance", "scaling", "latency", "tlc", "run",
-             "perfbench")
+             "endurance", "scaling", "latency", "tlc", "qos_isolation",
+             "run", "perfbench")
 
 
 def all_experiments() -> List[Experiment]:
@@ -111,5 +111,6 @@ def load_all() -> None:
     import repro.experiments.scaling  # noqa: F401
     import repro.experiments.latency  # noqa: F401
     import repro.experiments.tlc_system  # noqa: F401
+    import repro.experiments.qos_isolation  # noqa: F401
     import repro.experiments.single_run  # noqa: F401
     import repro.perfbench.cli  # noqa: F401

@@ -13,20 +13,41 @@ from typing import Dict, List, Sequence
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of a sample set."""
+    """Nearest-rank percentile of a sample set.
+
+    ``fraction`` must lie in (0, 1]: a zeroth percentile has no
+    nearest-rank definition, and values outside the unit interval
+    would silently index the wrong rank.
+    """
     if not samples:
         raise ValueError("no samples")
-    if not (0.0 <= fraction <= 1.0):
-        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
     ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
     return ordered[index]
 
 
+#: The :func:`latency_summary` of an empty sample set: every field is
+#: NaN, matching the repo-wide convention that statistics of an empty
+#: run are undefined rather than zero.
+EMPTY_SUMMARY: Dict[str, float] = {
+    "mean": float("nan"),
+    "p50": float("nan"),
+    "p95": float("nan"),
+    "p99": float("nan"),
+    "max": float("nan"),
+}
+
+
 def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
-    """Mean / p50 / p95 / p99 / max of a latency sample set (seconds)."""
+    """Mean / p50 / p95 / p99 / max of a latency sample set (seconds).
+
+    An empty sample set yields NaN fields (see :data:`EMPTY_SUMMARY`)
+    so callers summarising quiet tenants or empty runs need no guard.
+    """
     if not samples:
-        raise ValueError("no samples")
+        return dict(EMPTY_SUMMARY)
     ordered = sorted(samples)
     return {
         "mean": sum(ordered) / len(ordered),

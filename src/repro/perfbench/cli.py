@@ -13,7 +13,12 @@ import argparse
 
 from repro.experiments import registry
 from repro.experiments.engine import EngineOptions
-from repro.perfbench.harness import WORKLOADS, PerfbenchResult, run_perfbench
+from repro.perfbench.harness import (
+    QOS_WORKLOADS,
+    WORKLOADS,
+    PerfbenchResult,
+    run_perfbench,
+)
 
 #: ``--quick`` op-count multiplier: a CI-sized smoke run.
 QUICK_SCALE = 0.1
@@ -23,7 +28,9 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workloads", default=None,
         help="comma-separated subset of "
-             f"{','.join(WORKLOADS)} (default: all)")
+             f"{','.join(WORKLOADS)},{','.join(QOS_WORKLOADS)} "
+             f"(default: {','.join(WORKLOADS)}; the multi-tenant "
+             f"{','.join(QOS_WORKLOADS)} scenario is opt-in)")
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="op-count multiplier (default 1.0)")

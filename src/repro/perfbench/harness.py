@@ -31,6 +31,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentConfig, build_system
+from repro.qos.host import MultiTenantHost, TenantSpec
 from repro.sim.host import ClosedLoopHost, StreamOp
 from repro.workloads.benchmarks import WorkloadProfile, build_workload
 from repro.workloads.synthetic import sequential_fill
@@ -86,6 +87,27 @@ WORKLOADS: Dict[str, Callable[[int, float, int], List[List[StreamOp]]]] = {
     "fig8_write": _fig8_write,
     "zipf_mix": _zipf_mix,
     "endurance_loop": _endurance_loop,
+}
+
+
+def _qos_mix(span: int, scale: float, seed: int) -> List[TenantSpec]:
+    from repro.experiments.qos_isolation import build_noisy_neighbor
+
+    ops = max(200, int(BASE_OPS * scale))
+    return build_noisy_neighbor(span, ops, seed)
+
+
+#: Arbitration policy the qos_mix scenario exercises (DRR carries the
+#: most per-decision bookkeeping of the four).
+QOS_ARBITER = "drr"
+
+#: Multi-tenant scenarios timed through the QoS front-end
+#: (``(span, scale, seed) -> tenant specs``).  Not part of the default
+#: set: the front-end adds host-side work by design, so its rates are
+#: compared against their own floor, not the raw-core one.
+QOS_WORKLOADS: Dict[str, Callable[[int, float, int],
+                                  List[TenantSpec]]] = {
+    "qos_mix": _qos_mix,
 }
 
 
@@ -215,6 +237,42 @@ def time_workload(name: str, streams: Sequence[List[StreamOp]],
     )
 
 
+def time_qos_workload(name: str, tenants: Sequence[TenantSpec],
+                      config: ExperimentConfig,
+                      warmup_span: int) -> WorkloadTiming:
+    """Time one multi-tenant workload through the QoS front-end.
+
+    Same methodology as :func:`time_workload` (fresh system, warm-up
+    fill inside the timed region), but the measured phase runs a
+    :class:`~repro.qos.host.MultiTenantHost` with per-tenant
+    submission queues and :data:`QOS_ARBITER` arbitration — the number
+    this produces covers the whole QoS dispatch path, not just the
+    simulation core.
+    """
+    sim, _array, _buffer, _ftl, controller = build_system(BENCH_FTL,
+                                                          config)
+    host_ops = sum(spec.total_ops for spec in tenants)
+    start = time.perf_counter()
+    fill = sequential_fill(warmup_span)
+    warm = ClosedLoopHost(sim, controller, [fill])
+    warm.start()
+    sim.run()
+    host = MultiTenantHost(sim, controller, list(tenants),
+                           arbiter=QOS_ARBITER)
+    host.start()
+    sim.run()
+    wall = time.perf_counter() - start
+    total_ops = host_ops + len(fill)
+    return WorkloadTiming(
+        name=name,
+        events=sim.processed,
+        host_ops=total_ops,
+        wall_seconds=wall,
+        events_per_sec=sim.processed / wall,
+        host_ops_per_sec=total_ops / wall,
+    )
+
+
 def run_perfbench(
     workloads: Optional[Sequence[str]] = None,
     scale: float = 1.0,
@@ -227,7 +285,9 @@ def run_perfbench(
     """Run the throughput benchmark.
 
     Args:
-        workloads: subset of :data:`WORKLOADS` (default: all three).
+        workloads: subset of :data:`WORKLOADS` plus
+            :data:`QOS_WORKLOADS` (default: the three core workloads;
+            ``qos_mix`` is opt-in).
         scale: op-count multiplier (``--quick`` uses 0.1).
         seed: workload generation seed.
         track_history: keep per-block program histories (default off:
@@ -245,9 +305,10 @@ def run_perfbench(
         raise ValueError(f"scale must be positive, got {scale}")
     names = list(workloads) if workloads else list(WORKLOADS)
     for name in names:
-        if name not in WORKLOADS:
+        if name not in WORKLOADS and name not in QOS_WORKLOADS:
+            known = sorted({**WORKLOADS, **QOS_WORKLOADS})
             raise KeyError(
-                f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+                f"unknown workload {name!r}; choose from {known}"
             )
     config = ExperimentConfig(track_history=track_history)
     _, _, _, probe, _ = build_system(BENCH_FTL, config)
@@ -260,11 +321,16 @@ def run_perfbench(
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        timings = {
-            name: time_workload(name, WORKLOADS[name](span, scale, seed),
-                                config, span)
-            for name in names
-        }
+        timings = {}
+        for name in names:
+            if name in WORKLOADS:
+                timings[name] = time_workload(
+                    name, WORKLOADS[name](span, scale, seed), config,
+                    span)
+            else:
+                timings[name] = time_qos_workload(
+                    name, QOS_WORKLOADS[name](span, scale, seed),
+                    config, span)
     finally:
         if profiler is not None:
             profiler.disable()

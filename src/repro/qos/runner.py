@@ -1,0 +1,182 @@
+"""Measured multi-tenant runs for the QoS experiments.
+
+Mirrors :func:`repro.experiments.runner.run_workload` — same system
+assembly, same sequential-fill preconditioning, same measured-phase
+counter deltas — but feeds the device through the
+:class:`~repro.qos.host.MultiTenantHost` and reports *per-tenant*
+outcomes instead of one aggregate.  The engine executes these runs as
+``qos_workload`` cells, so the full PR-1 machinery (process-pool
+fan-out, content-addressed caching, byte-identical serial/parallel
+output) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.flexftl import FlexFtl
+from repro.experiments.runner import ExperimentConfig, build_system
+from repro.qos.host import MultiTenantHost, TenantSpec
+from repro.sim.host import ClosedLoopHost
+from repro.sim.stats import SimStats
+from repro.workloads.synthetic import sequential_fill
+
+
+@dataclasses.dataclass
+class QosRunResult:
+    """Outcome of one measured multi-tenant run.
+
+    ``tenants`` maps tenant name to its accounting summary (counts,
+    violation counters, latency percentiles, queue-depth statistics);
+    ``totals`` carries the run-wide numbers a
+    :class:`~repro.experiments.runner.RunResult` would have reported.
+    """
+
+    ftl_name: str
+    arbiter: str
+    tenants: Dict[str, Dict[str, Any]]
+    totals: Dict[str, Any]
+
+    def tenant(self, name: str) -> Dict[str, Any]:
+        """One tenant's summary (KeyError for unknown tenants)."""
+        return self.tenants[name]
+
+    def write_p99(self, name: str) -> float:
+        """Shorthand: a tenant's p99 write latency in seconds."""
+        return float(self.tenants[name]["write_latency"]["p99"])
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return {
+            "ftl_name": self.ftl_name,
+            "arbiter": self.arbiter,
+            "tenants": self.tenants,
+            "totals": self.totals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QosRunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ftl_name=str(data["ftl_name"]),
+            arbiter=str(data["arbiter"]),
+            tenants={str(name): dict(summary)
+                     for name, summary in data["tenants"].items()},
+            totals=dict(data["totals"]),
+        )
+
+
+def run_qos_workload(
+    *,
+    ftl_name: str,
+    tenants: Sequence[TenantSpec],
+    arbiter: str = "fifo",
+    config: Optional[ExperimentConfig] = None,
+    max_outstanding: Optional[int] = 8,
+    max_pending_admissions: Optional[int] = None,
+    max_events: Optional[int] = None,
+    warmup_span: Optional[int] = None,
+) -> QosRunResult:
+    """Precondition, run one multi-tenant workload, report per tenant.
+
+    Args:
+        ftl_name: a :data:`~repro.experiments.runner.FTL_REGISTRY` key.
+        tenants: tenant specs (workload streams + QoS contracts).
+        arbiter: arbitration policy registry name.
+        config: system configuration.
+        max_outstanding: admission-gate in-flight bound.
+        max_pending_admissions: optional write-backlog bound.
+        max_events: optional simulation event cap (safety backstop).
+        warmup_span: logical pages to precondition (defaults to the
+            highest page any tenant touches).
+
+    Returns:
+        A :class:`QosRunResult` covering only the measured phase.
+    """
+    config = config or ExperimentConfig()
+    sim, _array, _buffer, ftl, controller = build_system(ftl_name,
+                                                         config)
+
+    if config.warmup:
+        if warmup_span is None:
+            touched = [op.lpn + op.npages for spec in tenants
+                       for stream in spec.streams for op in stream]
+            warmup_span = min(ftl.logical_pages,
+                              max(touched) if touched else 1)
+        fill = sequential_fill(warmup_span)
+        warmup_host = ClosedLoopHost(sim, controller, [fill])
+        warmup_host.start()
+        sim.run(max_events=max_events)
+        if isinstance(ftl, FlexFtl):
+            # Same reset as run_workload: measurement starts from the
+            # paper's initial LSB-quota state.
+            ftl.quota.reset()
+
+    baseline = dict(ftl.counters())
+    measured_stats = SimStats(page_size=config.geometry.page_size,
+                              bandwidth_window=config.bandwidth_window)
+    controller.stats = measured_stats
+
+    host = MultiTenantHost(
+        sim, controller, tenants, arbiter=arbiter,
+        max_outstanding=max_outstanding,
+        max_pending_admissions=max_pending_admissions)
+    host.start()
+    sim.run(max_events=max_events)
+
+    final = dict(ftl.counters())
+    deltas = {key: final[key] - baseline.get(key, 0) for key in final}
+
+    summaries = host.accountant.summary()
+    per_tenant: Dict[str, Dict[str, Any]] = {}
+    for index, spec in enumerate(host.tenants):
+        queue = host.queues[index]
+        bucket = host.buckets[index]
+        summary = dict(summaries.get(spec.name, {}))
+        summary["queue"] = {
+            "enqueued": queue.enqueued,
+            "issued": queue.issued,
+            "max_depth": queue.max_depth_seen,
+            "mean_depth": queue.mean_depth(),
+        }
+        summary["weight"] = spec.weight
+        summary["throttled_decisions"] = (
+            bucket.throttled_decisions if bucket is not None else 0)
+        per_tenant[spec.name] = summary
+
+    totals: Dict[str, Any] = {
+        "events": sim.processed,
+        "elapsed": measured_stats.elapsed,
+        "completed_requests": measured_stats.completed_requests,
+        "iops": (measured_stats.iops()
+                 if measured_stats.completed_requests else float("nan")),
+        "issued": host.issued,
+        "gate_blocked_decisions": host.gate.blocked_decisions,
+        "counters": deltas,
+        "logical_pages": ftl.logical_pages,
+    }
+    return QosRunResult(ftl_name=ftl_name, arbiter=arbiter,
+                        tenants=per_tenant, totals=totals)
+
+
+def tenant_table_rows(result: QosRunResult,
+                      unit: float = 1e-3) -> List[List[str]]:
+    """Per-tenant report rows (latency columns in ``unit`` seconds)."""
+    rows: List[List[str]] = []
+    for name, summary in result.tenants.items():
+        write = summary["write_latency"]
+        read = summary["read_latency"]
+        rows.append([
+            name,
+            str(summary["completed_writes"]),
+            f"{float(write['p50']) / unit:.3f}",
+            f"{float(write['p99']) / unit:.3f}",
+            str(summary["completed_reads"]),
+            f"{float(read['p99']) / unit:.3f}",
+            str(int(summary["read_violations"])
+                + int(summary["write_violations"])),
+        ])
+    return rows

@@ -1,0 +1,144 @@
+"""Rate limiting and backpressure-aware admission control.
+
+Two complementary mechanisms gate the flow from submission queues into
+the storage controller:
+
+* :class:`TokenBucket` — a per-tenant *rate* contract: pages per
+  second with a burst allowance.  A throttled tenant's queue is simply
+  ineligible for arbitration until its bucket refills; other tenants
+  are unaffected.
+* :class:`AdmissionGate` — a *device* contract: bound the number of
+  dispatched-but-incomplete commands and, optionally, the controller's
+  write-admission backlog.  Without this bound the submission queues
+  would drain straight into the controller's FIFO admission queue and
+  arbitration order would stop mattering; with it, backlog waits in
+  the per-tenant queues where the arbiter can reorder service.
+
+Both are pure bookkeeping over the simulation clock: deterministic,
+no events of their own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.controller import StorageController
+
+#: Token-comparison tolerance: incremental refill accumulates float
+#: error, and a shortfall below this produces a wait time too small to
+#: advance the simulation clock (an infinite same-instant wake loop).
+#: At realistic rates this is well under a picosecond of refill.
+TOKEN_EPSILON = 1e-9
+
+
+class TokenBucket:
+    """Pages-per-second token bucket with a burst allowance.
+
+    Args:
+        rate: sustained refill rate in pages per second.
+        burst: bucket capacity in pages (the largest instantaneous
+            burst).  A command costing more than ``burst`` pages is
+            admitted once the bucket is full, with the overdraft
+            repaid from future refill — long-run throughput still
+            converges to ``rate``.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last = 0.0
+        self.throttled_decisions = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last)
+                               * self.rate)
+            self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (may be negative after an overdraft)."""
+        return self._tokens
+
+    def wait_time(self, cost: float, now: float) -> float:
+        """Seconds until a ``cost``-page command may be admitted.
+
+        0.0 means admissible right now.  The requirement is
+        ``tokens >= min(cost, burst)``, so oversized commands wait for
+        a full bucket rather than forever.
+        """
+        self._refill(now)
+        need = min(cost, self.burst)
+        if self._tokens >= need - TOKEN_EPSILON:
+            return 0.0
+        self.throttled_decisions += 1
+        return (need - self._tokens) / self.rate
+
+    def consume(self, cost: float, now: float) -> None:
+        """Spend ``cost`` pages (caller checked :meth:`wait_time`)."""
+        self._refill(now)
+        self._tokens -= cost
+
+
+class AdmissionGate:
+    """Caps in-flight work between the QoS front-end and the device.
+
+    Args:
+        controller: the storage controller being fed.
+        max_outstanding: dispatched commands that may be incomplete at
+            once (completion for a write is buffer admission, for a
+            read the last page read).  None removes the bound.
+        max_pending_admissions: additional cap on the controller's
+            write-admission backlog; dispatch pauses while
+            ``controller.pending_admissions`` is at or above it.
+
+    Deadlock safety: whenever :meth:`can_admit` is False, at least one
+    previously dispatched request is incomplete, so a completion
+    callback is guaranteed to arrive and re-open the gate.
+    """
+
+    def __init__(self, controller: StorageController,
+                 max_outstanding: Optional[int] = 8,
+                 max_pending_admissions: Optional[int] = None) -> None:
+        if max_outstanding is not None and max_outstanding <= 0:
+            raise ValueError(
+                f"max_outstanding must be positive, got {max_outstanding}")
+        if max_pending_admissions is not None \
+                and max_pending_admissions <= 0:
+            raise ValueError(
+                f"max_pending_admissions must be positive, "
+                f"got {max_pending_admissions}")
+        self.controller = controller
+        self.max_outstanding = max_outstanding
+        self.max_pending_admissions = max_pending_admissions
+        self.outstanding = 0
+        self.blocked_decisions = 0
+
+    def can_admit(self) -> bool:
+        """Whether one more command may be dispatched right now."""
+        if self.max_outstanding is not None \
+                and self.outstanding >= self.max_outstanding:
+            self.blocked_decisions += 1
+            return False
+        if self.max_pending_admissions is not None \
+                and self.controller.pending_admissions \
+                >= self.max_pending_admissions:
+            self.blocked_decisions += 1
+            return False
+        return True
+
+    def note_dispatch(self) -> None:
+        """A command was submitted to the controller."""
+        self.outstanding += 1
+
+    def note_complete(self) -> None:
+        """A previously dispatched command completed."""
+        if self.outstanding <= 0:
+            raise RuntimeError("completion without a dispatch")
+        self.outstanding -= 1

@@ -15,7 +15,7 @@ from __future__ import annotations
 from bisect import insort
 from collections import deque
 from heapq import heappush
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.nand.array import NandArray
 from repro.sim.kernel import Simulator
@@ -79,6 +79,14 @@ class StorageController:
         #: total entries across all read queues (keeps host_idle O(1))
         self._queued_reads = 0
         self._admissions: Deque[Request] = deque()
+        #: optional observer called as ``hook(request, now)`` on every
+        #: host-request completion (write-buffer admission for writes,
+        #: last page read for reads), before the request's own
+        #: ``on_complete``.  The QoS front-end (:mod:`repro.qos`) uses
+        #: it for per-tenant SLO accounting and to re-arm arbitration
+        #: when backpressure clears; None (the default) is free.
+        self.completion_hook: Optional[Callable[[Request, float], None]] = \
+            None
         self._pumping = False
         #: op currently executing per chip (power-loss tooling inspects it)
         self.in_flight: Dict[int, FlashOp] = {}
@@ -135,6 +143,8 @@ class StorageController:
 
     def _complete_request(self, request: Request) -> None:
         self.stats.note_request_complete(request, self.sim.now)
+        if self.completion_hook is not None:
+            self.completion_hook(request, self.sim.now)
         if request.on_complete is not None:
             request.on_complete(request, self.sim.now)
 

@@ -82,13 +82,20 @@ class StreamOp:
 
 
 class ClosedLoopHost:
-    """Synchronous worker streams (Sysbench/Filebench-style load)."""
+    """Synchronous worker streams (Sysbench/Filebench-style load).
+
+    ``tenant`` (optional) tags every issued request with a tenant id so
+    per-tenant accounting (:mod:`repro.qos.slo`) can attribute it; it
+    changes nothing about how requests are scheduled.
+    """
 
     def __init__(self, sim: Simulator, controller: StorageController,
-                 streams: Sequence[Sequence[StreamOp]]) -> None:
+                 streams: Sequence[Sequence[StreamOp]],
+                 tenant: Optional[str] = None) -> None:
         self.sim = sim
         self.controller = controller
         self.streams: List[List[StreamOp]] = [list(s) for s in streams]
+        self.tenant = tenant
         self._cursor = [0] * len(self.streams)
 
     def start(self) -> None:
@@ -104,7 +111,8 @@ class ClosedLoopHost:
 
     def _issue(self, index: int) -> None:
         op = self.streams[index][self._cursor[index]]
-        request = Request(self.sim.now, op.kind, op.lpn, op.npages)
+        request = Request(self.sim.now, op.kind, op.lpn, op.npages,
+                          tenant=self.tenant)
         request.on_complete = \
             lambda _req, _now, i=index, think=op.think_after: \
             self._advance(i, think)

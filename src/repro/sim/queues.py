@@ -30,12 +30,17 @@ class Request:
         kind: read or write.
         lpn: first logical page number.
         npages: request length in pages.
+        tenant: issuing tenant id for multi-tenant QoS accounting
+            (:mod:`repro.qos`), or None for untagged single-host
+            traffic.  Purely descriptive: the controller schedules
+            tagged and untagged requests identically.
     """
 
     time: float
     kind: RequestKind
     lpn: int
     npages: int = 1
+    tenant: Optional[str] = None
 
     # -- runtime bookkeeping (filled in by the host/controller) -------
     pages_remaining: int = dataclasses.field(default=-1, repr=False)

@@ -4,7 +4,14 @@ import pytest
 
 from repro.ftl.base import FtlConfig
 from repro.ftl.pageftl import PageFtl
-from repro.metrics.latency import latency_summary, percentile, summary_row
+import math
+
+from repro.metrics.latency import (
+    EMPTY_SUMMARY,
+    latency_summary,
+    percentile,
+    summary_row,
+)
 from repro.sim.host import ClosedLoopHost, StreamOp
 from repro.sim.queues import RequestKind
 
@@ -14,7 +21,7 @@ from tests.helpers import build_small_system
 class TestLatencyMetrics:
     def test_percentile_nearest_rank(self):
         samples = [float(i) for i in range(100)]
-        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 0.005) == 0.0
         assert percentile(samples, 0.5) == 50.0
         assert percentile(samples, 1.0) == 99.0
 
@@ -29,13 +36,23 @@ class TestLatencyMetrics:
         assert row[0] == "reads"
         assert row[1] == "1.500"
 
-    def test_empty_samples_rejected(self):
-        with pytest.raises(ValueError):
-            latency_summary([])
+    def test_empty_summary_is_nan(self):
+        summary = latency_summary([])
+        assert set(summary) == set(EMPTY_SUMMARY)
+        assert all(math.isnan(value) for value in summary.values())
+        # Each call returns a fresh dict, not the shared constant.
+        summary["mean"] = 1.0
+        assert math.isnan(latency_summary([])["mean"])
+
+    def test_invalid_percentile_inputs_rejected(self):
         with pytest.raises(ValueError):
             percentile([], 0.5)
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
 
 
 class TestGcPolicyOption:

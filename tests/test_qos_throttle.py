@@ -1,0 +1,101 @@
+"""Tests for token-bucket rate limiting and the admission gate."""
+
+import pytest
+
+from repro.qos.throttle import AdmissionGate, TokenBucket
+
+
+class FakeController:
+    """Just enough controller surface for the gate: a backlog count."""
+
+    def __init__(self):
+        self.pending_admissions = 0
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=8)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=100.0, burst=0)
+
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=100.0, burst=8)
+        assert bucket.tokens == 8.0
+        assert bucket.wait_time(8, now=0.0) == 0.0
+
+    def test_consume_then_wait(self):
+        bucket = TokenBucket(rate=100.0, burst=8)
+        bucket.consume(8, now=0.0)
+        assert bucket.tokens == 0.0
+        # 4 pages at 100 pages/s: ready 0.04 s later.
+        assert bucket.wait_time(4, now=0.0) == pytest.approx(0.04)
+        assert bucket.wait_time(4, now=0.04) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=8)
+        bucket.consume(8, now=0.0)
+        bucket.wait_time(1, now=100.0)  # long idle: refill saturates
+        assert bucket.tokens == 8.0
+
+    def test_oversized_command_waits_for_full_bucket(self):
+        bucket = TokenBucket(rate=100.0, burst=8)
+        # 20 pages > burst 8: admitted at a full bucket, not never.
+        assert bucket.wait_time(20, now=0.0) == 0.0
+        bucket.consume(20, now=0.0)
+        assert bucket.tokens == -12.0
+        # The overdraft is repaid before anything else is admitted.
+        assert bucket.wait_time(1, now=0.0) == pytest.approx(0.13)
+
+    def test_throttled_decisions_counted(self):
+        bucket = TokenBucket(rate=100.0, burst=4)
+        assert bucket.throttled_decisions == 0
+        bucket.consume(4, now=0.0)
+        bucket.wait_time(4, now=0.0)
+        bucket.wait_time(4, now=0.0)
+        assert bucket.throttled_decisions == 2
+
+
+class TestAdmissionGate:
+    def test_validation(self):
+        controller = FakeController()
+        with pytest.raises(ValueError):
+            AdmissionGate(controller, max_outstanding=0)
+        with pytest.raises(ValueError):
+            AdmissionGate(controller, max_pending_admissions=-1)
+
+    def test_outstanding_bound(self):
+        gate = AdmissionGate(FakeController(), max_outstanding=2)
+        assert gate.can_admit()
+        gate.note_dispatch()
+        gate.note_dispatch()
+        assert not gate.can_admit()
+        gate.note_complete()
+        assert gate.can_admit()
+
+    def test_unbounded_when_none(self):
+        gate = AdmissionGate(FakeController(), max_outstanding=None)
+        for _ in range(100):
+            gate.note_dispatch()
+        assert gate.can_admit()
+
+    def test_pending_admissions_bound(self):
+        controller = FakeController()
+        gate = AdmissionGate(controller, max_outstanding=None,
+                             max_pending_admissions=4)
+        controller.pending_admissions = 4
+        assert not gate.can_admit()
+        controller.pending_admissions = 3
+        assert gate.can_admit()
+
+    def test_blocked_decisions_counted(self):
+        gate = AdmissionGate(FakeController(), max_outstanding=1)
+        gate.note_dispatch()
+        gate.can_admit()
+        gate.can_admit()
+        assert gate.blocked_decisions == 2
+
+    def test_completion_underflow_raises(self):
+        gate = AdmissionGate(FakeController())
+        with pytest.raises(RuntimeError):
+            gate.note_complete()

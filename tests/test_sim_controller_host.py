@@ -192,3 +192,45 @@ class TestClosedLoopHost:
         host.start()
         sim.run()
         assert host.remaining == 0
+
+    def test_empty_stream_list(self, small_geometry):
+        sim, _, _, _, controller = build_small_system(
+            PageFtl, small_geometry)
+        host = ClosedLoopHost(sim, controller, [])
+        assert host.remaining == 0
+        host.start()
+        assert sim.pending == 0
+        sim.run()
+        assert controller.stats.completed_requests == 0
+
+    def test_empty_streams_among_nonempty_skipped(self, small_geometry):
+        sim, _, _, _, controller = build_small_system(
+            PageFtl, small_geometry)
+        streams = [[], [StreamOp(RequestKind.WRITE, 0, 1)], []]
+        stats = run_closed_loop(sim, controller, streams)
+        assert stats.completed_writes == 1
+
+    def test_trailing_think_leaves_no_dangling_event(self,
+                                                     small_geometry):
+        # A nonzero think_after on the last op must not schedule a
+        # wake-up past the final completion: the stream is exhausted,
+        # so the makespan and event queue end with the device work.
+        sim, _, _, _, controller = build_small_system(
+            PageFtl, small_geometry)
+        ops = [StreamOp(RequestKind.WRITE, 0, 1, think_after=100.0)]
+        stats = run_closed_loop(sim, controller, [ops])
+        assert stats.completed_writes == 1
+        assert sim.pending == 0
+        assert sim.now < 100.0
+
+    def test_on_complete_fires_once_per_request(self, small_geometry):
+        sim, _, _, _, controller = build_small_system(
+            PageFtl, small_geometry, buffer_pages=2)
+        completions = []
+        controller.completion_hook = \
+            lambda request, now: completions.append(request)
+        ops = [StreamOp(RequestKind.WRITE, i % 3, 2) for i in range(6)]
+        ops += [StreamOp(RequestKind.READ, i % 3, 2) for i in range(6)]
+        run_closed_loop(sim, controller, [ops])
+        assert len(completions) == len(ops)
+        assert len(set(map(id, completions))) == len(ops)

@@ -201,3 +201,45 @@ class TestTraceIo:
         path.write_text("0.5 X 3 1\n")
         with pytest.raises(ValueError):
             load_trace(path)
+        path.write_text("0.5 R 3 1 victim extra\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_untagged_trace_stays_four_column(self, tmp_path):
+        requests = [Request(0.0, RequestKind.WRITE, 10, 4)]
+        path = tmp_path / "trace.txt"
+        save_trace(path, requests)
+        text = path.read_text()
+        assert text.splitlines()[0] == "# time op lpn npages"
+        assert all(len(line.split()) == 4
+                   for line in text.splitlines()[1:])
+        assert load_trace(path)[0].tenant is None
+
+    def test_tenant_roundtrip(self, tmp_path):
+        requests = [
+            Request(0.0, RequestKind.WRITE, 10, 4, tenant="victim"),
+            Request(0.25, RequestKind.READ, 2, 1),
+        ]
+        path = tmp_path / "trace.txt"
+        save_trace(path, requests)
+        text = path.read_text()
+        assert text.splitlines()[0] == "# time op lpn npages tenant"
+        assert text.splitlines()[2].endswith(" -")
+        loaded = load_trace(path)
+        assert loaded[0].tenant == "victim"
+        assert loaded[1].tenant is None
+
+    def test_mixed_width_lines_accepted(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.0 W 1 1\n0.5 R 3 1 noisy\n")
+        loaded = load_trace(path)
+        assert loaded[0].tenant is None
+        assert loaded[1].tenant == "noisy"
+
+    def test_unstorable_tenant_names_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        for bad in ("-", "two words", ""):
+            requests = [Request(0.0, RequestKind.WRITE, 1, 1,
+                                tenant=bad)]
+            with pytest.raises(ValueError):
+                save_trace(path, requests)
