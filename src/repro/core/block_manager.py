@@ -139,6 +139,23 @@ class TwoPhaseBlockManager:
         """Blocks waiting in (or serving as head of) the SBQueue."""
         return len(self._sbqueue)
 
+    def discard_block(self, block: int) -> Optional[str]:
+        """Forget a block mid-life-cycle (bad-block retirement).
+
+        Returns which stage the block was dropped from — ``"fast"`` or
+        ``"slow"`` — or None when the manager was not tracking it
+        (free/full blocks live with the owning FTL).
+        """
+        fast = self._fast
+        if fast is not None and fast.block == block:
+            self._fast = None
+            return "fast"
+        for cursor in self._sbqueue:
+            if cursor.block == block:
+                self._sbqueue.remove(cursor)
+                return "slow"
+        return None
+
     def __repr__(self) -> str:
         fast = "-" if self._fast is None else str(self._fast.block)
         return (

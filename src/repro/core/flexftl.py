@@ -276,6 +276,18 @@ class FlexFtl(BaseFtl):
                 backup.invalidate(gb)
         pending.clear()
 
+    def _release_block(self, chip_id: int, block: int) -> None:
+        # A retired block may be the active fast block, sit in the
+        # SBQueue, or still own a live parity page — drop all three.
+        self.managers[chip_id].discard_block(block)
+        gb = self.mapping.global_block_of(chip_id, block)
+        backup = self.chips[chip_id].backup
+        if backup is not None:
+            backup.invalidate(gb)
+        pending = self._pending_invalidations[chip_id]
+        if gb in pending:
+            pending.remove(gb)
+
     def next_op(self, chip_id: int, now: float):
         """Deferred parity invalidation plus the base dispatch, with
         the host-write pipeline fully open-coded.
@@ -296,6 +308,10 @@ class FlexFtl(BaseFtl):
         state = self.chips[chip_id]
         if state.pending:
             return state.pending.popleft()
+        if state.fault_work is not None:
+            op = self._fault_recovery_op(chip_id, now)
+            if op is not None:
+                return op
         gc = state.gc
         if gc is not None and not gc.background:
             return self._gc_step(chip_id)
@@ -462,6 +478,7 @@ class FlexFtl(BaseFtl):
         op.lpn = lpn
         op.on_complete = None
         op.data = None
+        op.source = None
         return op
 
     def _observe_host_program(self, chip_id, addr, ptype, now):

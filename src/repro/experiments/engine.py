@@ -242,6 +242,12 @@ def _run_qos_cell(**params: Any) -> Any:
     return run_qos_workload(**params)
 
 
+def _run_fault_cell(**params: Any) -> RunResult:
+    from repro.faults.runner import run_fault_workload
+
+    return run_fault_workload(**params)
+
+
 def _encode_qos(result: Any) -> Dict[str, Any]:
     return result.to_dict()
 
@@ -270,6 +276,9 @@ register_executor("tlc_workload", _run_tlc_cell,
                   encode=_encode_tlc, decode=_decode_tlc)
 register_executor("qos_workload", _run_qos_cell,
                   encode=_encode_qos, decode=_decode_qos)
+register_executor("fault_workload", _run_fault_cell,
+                  encode=lambda result: result.to_dict(),
+                  decode=RunResult.from_dict)
 
 
 def workload_cell(

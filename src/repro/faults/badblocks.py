@@ -1,0 +1,86 @@
+"""Bad-block table and spare-block reserve for one chip.
+
+Real NAND ships with factory-marked bad blocks and grows more over its
+lifetime (program-status and erase failures, vendor-specified up to a
+few percent of the device).  An FTL keeps a bad-block table and a
+reserve of spare blocks: a retired block is replaced by a spare, and
+when the reserve runs dry the device degrades to read-only — writes
+can no longer be placed safely, but everything already stored stays
+readable.
+
+:class:`BadBlockManager` is that bookkeeping for one chip.  It owns no
+NAND state itself; :class:`~repro.ftl.base.BaseFtl` consults it when
+retiring blocks and feeds replacement spares back into its free pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
+
+
+class BadBlockManager:
+    """Factory + grown bad-block table with a spare-block reserve.
+
+    Args:
+        spare_blocks: chip-local block ids held back as replacements
+            (handed out FIFO as blocks are retired).
+        factory_bad: chip-local block ids bad from the factory.  They
+            are recorded here for the table; the FTL is responsible
+            for keeping them out of its allocation pools (see
+            :meth:`repro.ftl.base.BaseFtl.mark_factory_bad`).
+    """
+
+    def __init__(self, spare_blocks: Iterable[int] = (),
+                 factory_bad: Iterable[int] = ()) -> None:
+        self._spares: Deque[int] = deque(spare_blocks)
+        self.initial_spares = len(self._spares)
+        self.factory_bad: Set[int] = set(factory_bad)
+        self.grown: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def spares_remaining(self) -> int:
+        """Replacement blocks still available."""
+        return len(self._spares)
+
+    @property
+    def spares_consumed(self) -> int:
+        """Replacement blocks already handed out."""
+        return self.initial_spares - len(self._spares)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the spare reserve is empty."""
+        return not self._spares
+
+    def is_bad(self, block: int) -> bool:
+        """Whether ``block`` is in the bad-block table."""
+        return block in self.factory_bad or block in self.grown
+
+    # ------------------------------------------------------------------
+
+    def _take_spare(self) -> Optional[int]:
+        return self._spares.popleft() if self._spares else None
+
+    def retire(self, block: int) -> Optional[int]:
+        """Record ``block`` as grown bad; returns a replacement spare.
+
+        Returns None when the reserve is exhausted — the caller must
+        then degrade the device to read-only mode.
+        """
+        if block not in self.grown:
+            self.grown.append(block)
+        return self._take_spare()
+
+    def mark_factory_bad(self, block: int) -> Optional[int]:
+        """Record a factory bad block; returns a replacement spare
+        (None when the reserve cannot cover it)."""
+        self.factory_bad.add(block)
+        return self._take_spare()
+
+    def __repr__(self) -> str:
+        return (f"BadBlockManager(spares={len(self._spares)}/"
+                f"{self.initial_spares}, factory={sorted(self.factory_bad)}, "
+                f"grown={self.grown})")

@@ -1,0 +1,198 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is the serializable specification the
+:class:`~repro.faults.injector.FaultInjector` executes.  It arms two
+complementary mechanisms:
+
+* **rates** — per-operation Bernoulli draws from one seeded RNG
+  (program-status failures, erase failures, read faults, grown-bad
+  detections).  Because the simulation itself is deterministic, the
+  same seed always hits the same operations: a fault campaign is
+  exactly reproducible.
+* **events** — an explicit schedule of :class:`FaultEvent` entries
+  pinning a fault to the N-th operation of a kind on a chip, for tests
+  that need a failure at one precise point.
+
+Plans are frozen dataclasses of plain data, so they hash into the
+PR-1 engine's content-addressed cell keys and round-trip through
+``to_dict``/``from_dict`` unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+#: Fault kinds an event can schedule (rate-based faults use the same
+#: vocabulary internally).
+FAULT_KINDS = ("program_fail", "erase_fail", "read_fault", "grown_bad")
+
+#: Read-fault severities an event may pin (None = draw from the BER
+#: model): a transient fault clears on re-read, ``ecc`` needs the
+#: escalated ECC mode, ``uncorrectable`` falls through to parity
+#: reconstruction or data loss.
+READ_SEVERITIES = ("transient", "ecc", "uncorrectable")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One explicitly scheduled fault.
+
+    Attributes:
+        kind: a :data:`FAULT_KINDS` member.
+        chip: chip id the fault strikes.
+        op_index: 0-based index among the chip's *completed* operations
+            of the matching kind (programs for ``program_fail`` and
+            ``grown_bad``, erases for ``erase_fail``, reads for
+            ``read_fault``).
+        severity: read-fault severity override (see
+            :data:`READ_SEVERITIES`); ignored for other kinds.
+    """
+
+    kind: str
+    chip: int
+    op_index: int
+    severity: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{FAULT_KINDS}"
+            )
+        if self.chip < 0:
+            raise ValueError(f"chip must be non-negative, got {self.chip}")
+        if self.op_index < 0:
+            raise ValueError(
+                f"op_index must be non-negative, got {self.op_index}")
+        if self.severity is not None \
+                and self.severity not in READ_SEVERITIES:
+            raise ValueError(
+                f"unknown read severity {self.severity!r}; choose from "
+                f"{READ_SEVERITIES}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            chip=int(data["chip"]),  # type: ignore[arg-type]
+            op_index=int(data["op_index"]),  # type: ignore[arg-type]
+            severity=data.get("severity"),  # type: ignore[arg-type]
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs, as plain serializable data.
+
+    Attributes:
+        seed: RNG seed for the rate-based draws.
+        program_fail_rate: per-completed-program probability of a
+            program-status failure.
+        erase_fail_rate: per-completed-erase probability of an erase
+            failure.
+        read_fault_rate: per-completed-read probability of a raw-BER
+            excursion (severity then drawn from the BER model).
+        grown_bad_rate: per-completed-program probability that the
+            block is detected as grown bad (retired without a failed
+            op).
+        read_fault_ber: (low, high) raw-BER interval a read fault draws
+            its severity from.
+        ecc_correctable_bits: baseline ECC strength (bits per codeword)
+            used to decide whether the first re-read decodes.
+        ecc_escalated_bits: escalated-mode ECC strength (soft-decision
+            style slow decode) tried before parity reconstruction.
+        ecc_escalation_reads: extra page reads one escalated decode
+            costs (latency model of the retry ladder).
+        events: explicitly scheduled :class:`FaultEvent` entries.
+        factory_bad: ``(chip, block)`` pairs marked bad before the run
+            (the factory bad-block table).
+    """
+
+    seed: int = 0
+    program_fail_rate: float = 0.0
+    erase_fail_rate: float = 0.0
+    read_fault_rate: float = 0.0
+    grown_bad_rate: float = 0.0
+    read_fault_ber: Tuple[float, float] = (1e-3, 8e-3)
+    ecc_correctable_bits: int = 40
+    ecc_escalated_bits: int = 72
+    ecc_escalation_reads: int = 3
+    events: Tuple[FaultEvent, ...] = ()
+    factory_bad: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("program_fail_rate", "erase_fail_rate",
+                     "read_fault_rate", "grown_bad_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        low, high = self.read_fault_ber
+        if not (0.0 <= low <= high <= 1.0):
+            raise ValueError(
+                f"read_fault_ber must be an ordered pair in [0, 1], "
+                f"got {self.read_fault_ber}"
+            )
+        if self.ecc_correctable_bits < 0 or self.ecc_escalated_bits < 0:
+            raise ValueError("ECC bit counts must be non-negative")
+        if self.ecc_escalated_bits < self.ecc_correctable_bits:
+            raise ValueError(
+                "ecc_escalated_bits must be at least ecc_correctable_bits"
+            )
+        if self.ecc_escalation_reads < 1:
+            raise ValueError("ecc_escalation_reads must be at least 1")
+        # normalize containers so equal plans hash/serialize equally
+        object.__setattr__(self, "read_fault_ber",
+                           (float(low), float(high)))
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(
+            self, "factory_bad",
+            tuple((int(c), int(b)) for c, b in self.factory_bad))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return bool(self.program_fail_rate or self.erase_fail_rate
+                    or self.read_fault_rate or self.grown_bad_rate
+                    or self.events)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "program_fail_rate": self.program_fail_rate,
+            "erase_fail_rate": self.erase_fail_rate,
+            "read_fault_rate": self.read_fault_rate,
+            "grown_bad_rate": self.grown_bad_rate,
+            "read_fault_ber": list(self.read_fault_ber),
+            "ecc_correctable_bits": self.ecc_correctable_bits,
+            "ecc_escalated_bits": self.ecc_escalated_bits,
+            "ecc_escalation_reads": self.ecc_escalation_reads,
+            "events": [event.to_dict() for event in self.events],
+            "factory_bad": [list(pair) for pair in self.factory_bad],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            program_fail_rate=float(data["program_fail_rate"]),  # type: ignore[arg-type]
+            erase_fail_rate=float(data["erase_fail_rate"]),  # type: ignore[arg-type]
+            read_fault_rate=float(data["read_fault_rate"]),  # type: ignore[arg-type]
+            grown_bad_rate=float(data["grown_bad_rate"]),  # type: ignore[arg-type]
+            read_fault_ber=tuple(data["read_fault_ber"]),  # type: ignore[arg-type]
+            ecc_correctable_bits=int(data["ecc_correctable_bits"]),  # type: ignore[arg-type]
+            ecc_escalated_bits=int(data["ecc_escalated_bits"]),  # type: ignore[arg-type]
+            ecc_escalation_reads=int(data["ecc_escalation_reads"]),  # type: ignore[arg-type]
+            events=tuple(FaultEvent.from_dict(event)
+                         for event in data["events"]),  # type: ignore[union-attr]
+            factory_bad=tuple(tuple(pair)
+                              for pair in data["factory_bad"]),  # type: ignore[union-attr]
+        )

@@ -133,6 +133,20 @@ class BackupBlockManager:
         """Drop ``owner``'s parity (its protected block closed safely)."""
         return self._live.pop(owner, None)
 
+    def rewind_slot(self, slot: ParitySlot) -> bool:
+        """Give back the most recently allocated slot.
+
+        Used after a power cut interrupts a parity program: the page
+        is erased again, and re-using it keeps the block's program
+        sequence hole-free.  Only the newest slot of the current block
+        can be rewound; anything else returns False.
+        """
+        if slot.block == self.current_block and self._cursor > 0 \
+                and self._pages[self._cursor - 1] == slot.page:
+            self._cursor -= 1
+            return True
+        return False
+
     def slot_of(self, owner: object) -> Optional[ParitySlot]:
         """Current parity slot protecting ``owner``, if any."""
         return self._live.get(owner)

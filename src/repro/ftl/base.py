@@ -16,13 +16,18 @@ import dataclasses
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.faults.badblocks import BadBlockManager
 from repro.ftl.backup import BackupBlockManager
 from repro.ftl.mapping import MappingTable
 from repro.nand.array import NandArray
 from repro.nand.geometry import PhysicalPageAddress
 from repro.nand.page_types import PageType
+from repro.nand.power import apply_power_loss_to_in_flight
 from repro.sim.ops import FlashOp, OpKind
 from repro.sim.queues import WriteBuffer
+
+if False:  # typing-only import; repro.sim.stats needs no runtime binding
+    from repro.sim.stats import FaultStats
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,6 +57,11 @@ class FtlConfig:
         wear_aware_allocation: pick the least-worn free block instead
             of recycling in FIFO order (a light static wear-levelling
             substitute; off by default to match the paper's FTLs).
+        spare_blocks_per_chip: blocks held back per chip as the
+            bad-block replacement reserve (:mod:`repro.faults`).  Zero
+            (the default, matching the paper's fault-free evaluation)
+            means the first retired block already degrades the device
+            to read-only.
     """
 
     op_ratio: float = 0.20
@@ -62,6 +72,7 @@ class FtlConfig:
     bg_gc_min_invalid_fraction: float = 0.25
     gc_policy: str = "greedy"
     wear_aware_allocation: bool = False
+    spare_blocks_per_chip: int = 0
 
     def __post_init__(self) -> None:
         if not (0.0 < self.op_ratio < 1.0):
@@ -81,6 +92,8 @@ class FtlConfig:
                 f"unknown gc_policy {self.gc_policy!r}; choose "
                 f"'greedy' or 'cost_benefit'"
             )
+        if self.spare_blocks_per_chip < 0:
+            raise ValueError("spare_blocks_per_chip must be non-negative")
 
 
 class GcJob:
@@ -95,6 +108,35 @@ class GcJob:
         self.copied = 0
 
 
+class SalvageJob:
+    """Live pages to relocate off a retired (still readable) block."""
+
+    __slots__ = ("block", "gb", "valid_lpns")
+
+    def __init__(self, block: int, gb: int, valid_lpns: List[int]) -> None:
+        self.block = block
+        self.gb = gb
+        self.valid_lpns: Deque[int] = deque(valid_lpns)
+
+
+class FaultWork:
+    """Per-chip recovery backlog created by fault handling.
+
+    ``redrive`` holds logical pages whose data is controller-RAM
+    resident (an interrupted write, or an LSB page the parity backup
+    reconstructed) waiting to be re-programmed to a fresh page;
+    ``salvage`` holds relocation jobs draining the live pages off
+    retired blocks.  :meth:`BaseFtl._fault_recovery_op` services both
+    ahead of new host writes.
+    """
+
+    __slots__ = ("redrive", "salvage")
+
+    def __init__(self) -> None:
+        self.redrive: Deque[int] = deque()
+        self.salvage: Deque[SalvageJob] = deque()
+
+
 class ChipState:
     """Per-chip bookkeeping common to all FTLs."""
 
@@ -105,6 +147,10 @@ class ChipState:
         self.pending: Deque[FlashOp] = deque()
         self.gc: Optional[GcJob] = None
         self.backup: Optional[BackupBlockManager] = None
+        self.bad_blocks: Optional[BadBlockManager] = None
+        #: recovery backlog, or None when there is none (the common
+        #: case; ``next_op`` only pays a None check for it)
+        self.fault_work: Optional[FaultWork] = None
 
 
 class BaseFtl(abc.ABC):
@@ -138,17 +184,38 @@ class BaseFtl(abc.ABC):
 
         backup_blocks = (self.config.backup_blocks_per_chip
                          if self.uses_backup else 0)
-        if backup_blocks >= self.geometry.blocks_per_chip:
-            raise ValueError("backup blocks exceed blocks per chip")
+        spare_blocks = self.config.spare_blocks_per_chip
+        if backup_blocks + spare_blocks >= self.geometry.blocks_per_chip:
+            raise ValueError(
+                "backup and spare blocks exceed blocks per chip")
+        # Per-chip block layout: [data | spares | backup].  Spares sit
+        # between so the backup region keeps its historical position at
+        # the top of the chip.
         self.data_blocks_per_chip = self.geometry.blocks_per_chip \
-            - backup_blocks
+            - backup_blocks - spare_blocks
+        self.spare_blocks_per_chip = spare_blocks
+        #: first chip-local block id of the backup region (== the end
+        #: of the data+spare region, whether or not backup is used)
+        self.backup_block_start = self.data_blocks_per_chip + spare_blocks
+
+        #: fault counters shared with the controller
+        #: (:class:`repro.sim.stats.FaultStats`); None while fault
+        #: injection is not armed.
+        self.fault_stats: "Optional[FaultStats]" = None
+        #: True once a chip ran out of spare blocks — the controller
+        #: then stops accepting writes (read-only degraded mode).
+        self.degraded = False
 
         self.chips: List[ChipState] = []
         for chip_id in self.geometry.iter_chip_ids():
             state = ChipState(chip_id)
             state.free_blocks.extend(range(self.data_blocks_per_chip))
+            state.bad_blocks = BadBlockManager(
+                spare_blocks=range(self.data_blocks_per_chip,
+                                   self.backup_block_start)
+            )
             if self.uses_backup:
-                reserved = list(range(self.data_blocks_per_chip,
+                reserved = list(range(self.backup_block_start,
                                       self.geometry.blocks_per_chip))
                 state.backup = BackupBlockManager(
                     reserved, self.wordlines, order=self.backup_order
@@ -194,15 +261,21 @@ class BaseFtl(abc.ABC):
         state = self.chips[chip_id]
         if state.pending:
             return state.pending.popleft()
+        if state.fault_work is not None:
+            op = self._fault_recovery_op(chip_id, now)
+            if op is not None:
+                return op
         if state.gc is not None and not state.gc.background:
             return self._gc_step(chip_id)
         return self._host_write_op(chip_id, now)
 
     def wants_background_gc(self, chip_id: int) -> bool:
         """Whether idle-time work is available for this chip."""
+        state = self.chips[chip_id]
+        if state.fault_work is not None:
+            return True  # drain recovery work even with bg GC off
         if not self.config.bg_gc_enabled:
             return False
-        state = self.chips[chip_id]
         if state.pending or state.gc is not None:
             return True
         return (len(state.free_blocks) < self.gc_threshold_blocks
@@ -210,10 +283,14 @@ class BaseFtl(abc.ABC):
                     chip_id, self._bg_min_invalid()) is not None)
 
     def background_op(self, chip_id: int, now: float) -> Optional[FlashOp]:
-        """Idle-time work: continue or start a background GC."""
+        """Idle-time work: recovery backlog, then garbage collection."""
         state = self.chips[chip_id]
         if state.pending:
             return state.pending.popleft()
+        if state.fault_work is not None:
+            op = self._fault_recovery_op(chip_id, now)
+            if op is not None:
+                return op
         if state.gc is not None:
             return self._gc_step(chip_id)
         if not self.config.bg_gc_enabled:
@@ -369,7 +446,8 @@ class BaseFtl(abc.ABC):
             if hook is not None:
                 hook(chip_id, target_addr, target_ptype)
             state.pending.append(
-                FlashOp(OpKind.PROGRAM, target_addr, tag="gc", lpn=lpn)
+                FlashOp(OpKind.PROGRAM, target_addr, tag="gc", lpn=lpn,
+                        source=source_addr)
             )
             return FlashOp(OpKind.READ, source_addr, tag="gc", lpn=lpn)
         # victim drained: erase it and recycle
@@ -450,6 +528,390 @@ class BaseFtl(abc.ABC):
             tag="backup",
         ))
         self.backup_programs += 1
+
+    # ------------------------------------------------------------------
+    # fault handling (driven by the controller; see repro.faults)
+
+    def _fault_work(self, chip_id: int) -> FaultWork:
+        state = self.chips[chip_id]
+        if state.fault_work is None:
+            state.fault_work = FaultWork()
+        return state.fault_work
+
+    def _ppn(self, addr: PhysicalPageAddress) -> int:
+        return (addr.channel * self._cpc + addr.chip) \
+            * self._pages_per_chip + addr.block * self._ppb + addr.page
+
+    def parity_covers(self, chip_id: int,
+                      addr: PhysicalPageAddress) -> bool:
+        """Whether a live parity page protects the block of ``addr``.
+
+        True means an LSB page destroyed in that block is
+        reconstructable by XOR-ing the block's surviving LSB pages with
+        the parity page (Section 3.3); FTLs without backup blocks
+        always answer False.
+        """
+        backup = self.chips[chip_id].backup
+        if backup is None:
+            return False
+        gb = self.mapping.global_block_of(chip_id, addr.block)
+        return backup.slot_of(gb) is not None
+
+    def handle_program_failure(self, chip_id: int, op: FlashOp) -> None:
+        """Recover from a program-status failure reported for ``op``.
+
+        The physical outcome matches an interrupted program (the
+        in-flight page never became durable; a failed MSB program also
+        corrupts its paired LSB page).  The op's own data is still in
+        controller RAM, so it is re-driven to a fresh page; a destroyed
+        paired LSB is reconstructed from parity when a live parity page
+        covers the block, and counted as lost otherwise.  The failed
+        block is then retired.
+        """
+        addr = op.addr
+        if addr.block >= self.backup_block_start:
+            self._handle_backup_program_failure(chip_id, op)
+            return
+        stats = self.fault_stats
+        if stats is not None:
+            stats.program_failures += 1
+        destroyed = apply_power_loss_to_in_flight(self.array, addr)
+        work = self._fault_work(chip_id)
+        mapping = self.mapping
+        own_ppn = self._ppn(addr)
+        for lost in destroyed:
+            ppn = self._ppn(lost)
+            lpn = mapping.lpn_of(ppn)
+            if lpn is None:
+                continue
+            if ppn == own_ppn or self.parity_covers(chip_id, lost):
+                if stats is not None:
+                    stats.redriven_writes += 1
+                    if ppn != own_ppn:
+                        stats.reconstructed_pages += 1
+                mapping.unmap(lpn)
+                work.redrive.append(lpn)
+            else:
+                mapping.unmap(lpn)
+                if stats is not None:
+                    stats.lost_pages += 1
+        self._retire_block(chip_id, addr.block)
+
+    def _handle_backup_program_failure(self, chip_id: int,
+                                       op: FlashOp) -> None:
+        """A parity-page program failed: re-drive the affected parity.
+
+        Parity content is RAM-resident until its protected block
+        closes, so every owner whose live slot the failure destroyed
+        simply gets a fresh slot and a re-program.  Backup blocks sit
+        outside the spare/replacement pools and are not retired.
+        """
+        stats = self.fault_stats
+        if stats is not None:
+            stats.backup_program_failures += 1
+        destroyed = apply_power_loss_to_in_flight(self.array, op.addr)
+        backup = self.chips[chip_id].backup
+        if backup is None:
+            return
+        lost_slots = {(lost.block, lost.page) for lost in destroyed}
+        owners = [owner for owner, slot in backup._live.items()
+                  if (slot.block, slot.page) in lost_slots]
+        for owner in owners:
+            self._enqueue_parity_backup(chip_id, owner)
+            if stats is not None:
+                stats.redriven_writes += 1
+
+    def handle_erase_failure(self, chip_id: int, op: FlashOp) -> None:
+        """Recover from an erase failure reported for ``op``.
+
+        A failed data-block erase retires the block (its mapping was
+        already cleared before the erase was issued).  A failed
+        backup-block erase is simply retried: the backup region has no
+        replacement pool, and erase failures are transient far more
+        often than program failures.
+        """
+        stats = self.fault_stats
+        if stats is not None:
+            stats.erase_failures += 1
+        block = op.addr.block
+        state = self.chips[chip_id]
+        if block >= self.backup_block_start:
+            if stats is not None:
+                stats.erase_retries += 1
+            state.pending.appendleft(
+                FlashOp(OpKind.ERASE, op.addr, tag="backup"))
+            return
+        try:
+            state.free_blocks.remove(block)
+        except ValueError:
+            pass
+        self._retire_block(chip_id, block)
+
+    def handle_grown_bad(self, chip_id: int, op: FlashOp) -> None:
+        """A block was detected grown-bad after a successful program.
+
+        The block's data is intact and readable; it is retired and its
+        live pages are salvaged off it.  Backup blocks are skipped —
+        they are outside the replacement pools.
+        """
+        block = op.addr.block
+        if block >= self.backup_block_start:
+            return
+        state = self.chips[chip_id]
+        if state.bad_blocks is not None and state.bad_blocks.is_bad(block):
+            return
+        if self.fault_stats is not None:
+            self.fault_stats.grown_bad_blocks += 1
+        self._retire_block(chip_id, block)
+
+    def _retire_block(self, chip_id: int, block: int) -> None:
+        """Pull a data block out of service, replacing it with a spare.
+
+        Removes the block from every pool, abandons a GC relocating out
+        of it, re-routes pending programs aimed at it, queues a salvage
+        job for its remaining live pages (retired blocks stay
+        readable), and consumes a spare — or flips the FTL into
+        degraded mode when the reserve is dry.
+        """
+        state = self.chips[chip_id]
+        stats = self.fault_stats
+        state.full_blocks.discard(block)
+        try:
+            state.free_blocks.remove(block)
+        except ValueError:
+            pass
+        gb = self.mapping.global_block_of(chip_id, block)
+        job = state.gc
+        if job is not None and job.victim_block == block:
+            # The salvage job below covers whatever the abandoned GC
+            # had not relocated yet.
+            state.gc = None
+        if state.pending:
+            kept: Deque[FlashOp] = deque()
+            for pending_op in state.pending:
+                if pending_op.kind is OpKind.PROGRAM \
+                        and pending_op.addr.block == block:
+                    lpn = pending_op.lpn
+                    if lpn is not None:
+                        ppn = self.mapping.lookup(lpn)
+                        if ppn is not None and ppn // self._ppb == gb:
+                            self.mapping.unmap(lpn)
+                            self._fault_work(chip_id).redrive.append(lpn)
+                            if stats is not None:
+                                stats.redriven_writes += 1
+                    continue  # drop the op: it would program bad silicon
+                kept.append(pending_op)
+            state.pending = kept
+        self._release_block(chip_id, block)
+        valid = list(self.mapping.valid_lpns_in_block(gb))
+        if valid:
+            self._fault_work(chip_id).salvage.append(
+                SalvageJob(block, gb, valid))
+        spare = None
+        if state.bad_blocks is not None:
+            spare = state.bad_blocks.retire(block)
+        if stats is not None:
+            stats.retired_blocks += 1
+        if spare is not None:
+            state.free_blocks.append(spare)
+            if stats is not None:
+                stats.spares_consumed += 1
+        else:
+            self.degraded = True
+            if stats is not None:
+                stats.degraded_mode = True
+
+    def _release_block(self, chip_id: int, block: int) -> None:
+        """Hook: ``block`` left the allocation pools (retirement).
+
+        Subclasses drop any allocation-cursor or parity state that
+        refers to it; the base class has none.
+        """
+
+    def mark_factory_bad(self, chip_id: int, block: int) -> None:
+        """Record a factory bad block before the run starts.
+
+        The block must still be free (factory tables are applied before
+        any traffic); a spare replaces it when the reserve allows.
+        """
+        if not (0 <= block < self.data_blocks_per_chip):
+            raise ValueError(
+                f"factory bad block {block} outside the data region "
+                f"[0, {self.data_blocks_per_chip})"
+            )
+        state = self.chips[chip_id]
+        try:
+            state.free_blocks.remove(block)
+        except ValueError:
+            raise ValueError(
+                f"block {block} on chip {chip_id} is not free; factory "
+                f"bad blocks must be marked before the run"
+            ) from None
+        spare = None
+        if state.bad_blocks is not None:
+            spare = state.bad_blocks.mark_factory_bad(block)
+        if spare is not None:
+            state.free_blocks.append(spare)
+        else:
+            self.degraded = True
+            if self.fault_stats is not None:
+                self.fault_stats.degraded_mode = True
+
+    def _force_gc_op(self, chip_id: int) -> Optional[FlashOp]:
+        """Start (or promote to foreground) a GC to free room for
+        recovery writes."""
+        state = self.chips[chip_id]
+        if state.gc is None:
+            victim = self._select_victim(chip_id)
+            if victim is None:
+                return None
+            self._begin_gc(chip_id, victim, background=False)
+        elif state.gc.background:
+            state.gc.background = False
+        return self._gc_step(chip_id)
+
+    def _fault_recovery_op(self, chip_id: int,
+                           now: float) -> Optional[FlashOp]:
+        """Next recovery operation for the chip, or None.
+
+        Re-drives of RAM-resident pages go first (their data exists
+        nowhere on flash), then salvage relocations off retired blocks.
+        Both allocate like GC relocations — ignoring the host reserve —
+        and fall back to forcing a foreground GC when the chip is out
+        of room.
+        """
+        state = self.chips[chip_id]
+        work = state.fault_work
+        if work is None:
+            return None
+        mapping = self.mapping
+        while work.redrive:
+            lpn = work.redrive[0]
+            target = self._allocate_gc_page(chip_id)
+            if target is None:
+                return self._force_gc_op(chip_id)
+            work.redrive.popleft()
+            addr, ptype = target
+            ppn = self._ppn(addr)
+            mapping.map_write(lpn, ppn)
+            self._write_clock += 1
+            self._block_write_stamp[ppn // self._ppb] = self._write_clock
+            hook = self._after_gc_program
+            if hook is not None:
+                hook(chip_id, addr, ptype)
+            return FlashOp(OpKind.PROGRAM, addr, tag="recovery", lpn=lpn)
+        while work.salvage:
+            job = work.salvage[0]
+            while job.valid_lpns:
+                lpn = job.valid_lpns.popleft()
+                ppn = mapping.lookup(lpn)
+                if ppn is None or ppn // self._ppb != job.gb:
+                    continue  # superseded meanwhile
+                target = self._allocate_gc_page(chip_id)
+                if target is None:
+                    job.valid_lpns.appendleft(lpn)
+                    return self._force_gc_op(chip_id)
+                addr, ptype = target
+                target_ppn = self._ppn(addr)
+                mapping.map_write(lpn, target_ppn)
+                self._write_clock += 1
+                self._block_write_stamp[target_ppn // self._ppb] = \
+                    self._write_clock
+                if self.fault_stats is not None:
+                    self.fault_stats.salvaged_pages += 1
+                hook = self._after_gc_program
+                if hook is not None:
+                    hook(chip_id, addr, ptype)
+                source_addr = self.geometry.address_of(ppn)
+                state.pending.append(FlashOp(
+                    OpKind.PROGRAM, addr, tag="salvage", lpn=lpn,
+                    source=source_addr))
+                return FlashOp(OpKind.READ, source_addr,
+                               tag="salvage", lpn=lpn)
+            work.salvage.popleft()
+        state.fault_work = None
+        return None
+
+    def quarantine_interrupted_block(self, chip_id: int,
+                                     block: int) -> None:
+        """Close a block whose in-flight program a power cut destroyed.
+
+        The destroyed page leaves a hole in the block's program
+        sequence, so no further page of it can legally be programmed.
+        The block is pulled from every allocation cursor and parked in
+        the full pool: its surviving pages stay readable and normal
+        garbage collection reclaims it (relocate valid pages, erase,
+        back to the free pool) — unlike retirement, no spare is spent.
+        """
+        state = self.chips[chip_id]
+        try:
+            state.free_blocks.remove(block)
+        except ValueError:
+            pass
+        self._release_block(chip_id, block)
+        state.full_blocks.add(block)
+
+    def note_read_loss(self, op: FlashOp) -> None:
+        """A host read of ``op`` exhausted the retry ladder: the page's
+        data is gone.  Unmap it so later reads fail fast rather than
+        re-walking the ladder."""
+        lpn = op.lpn
+        if lpn is None:
+            return
+        if self.mapping.lookup(lpn) == self._ppn(op.addr):
+            self.mapping.unmap(lpn)
+
+    def note_read_reconstructed(self, chip_id: int, op: FlashOp) -> None:
+        """A host read was served via parity reconstruction: scrub the
+        decayed page by re-driving the reconstructed data to a fresh
+        location."""
+        lpn = op.lpn
+        if lpn is None:
+            return
+        if self.mapping.lookup(lpn) == self._ppn(op.addr):
+            self.mapping.unmap(lpn)
+            self._fault_work(chip_id).redrive.append(lpn)
+            if self.fault_stats is not None:
+                self.fault_stats.redriven_writes += 1
+
+    def reset_after_power_loss(self) -> List[int]:
+        """Drop volatile per-chip work after a power cut.
+
+        Pending GC/salvage relocation programs are rolled back to their
+        durable source copy (the reboot metadata scan finds it — the
+        victim block has not been erased).  Re-drive entries lived only
+        in controller RAM; their logical pages are lost.  Returns the
+        lost lpns.
+        """
+        dropped: List[int] = []
+        mapping = self.mapping
+        for state in self.chips:
+            for pending_op in state.pending:
+                if pending_op.kind is not OpKind.PROGRAM \
+                        or pending_op.lpn is None:
+                    continue
+                lpn = pending_op.lpn
+                if mapping.lookup(lpn) != self._ppn(pending_op.addr):
+                    continue
+                mapping.unmap(lpn)
+                source = pending_op.source
+                if source is not None \
+                        and self.array.is_programmed(source):
+                    mapping.map_write(lpn, self._ppn(source))
+                else:
+                    dropped.append(lpn)
+            state.pending.clear()
+            job = state.gc
+            if job is not None:
+                state.gc = None
+                state.full_blocks.add(job.victim_block)
+            work = state.fault_work
+            if work is not None:
+                dropped.extend(work.redrive)
+                work.redrive.clear()
+                if not work.salvage:
+                    state.fault_work = None
+        return dropped
 
     # ------------------------------------------------------------------
     # subclass interface

@@ -58,3 +58,9 @@ class PageFtl(BaseFtl):
         self, chip_id: int
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         return self._allocate(chip_id, for_gc=True)
+
+    def _release_block(self, chip_id: int, block: int) -> None:
+        # Retired mid-write: drop the chip's active cursor on it.
+        cursor = self._active[chip_id]
+        if cursor is not None and cursor.block == block:
+            self._active[chip_id] = None

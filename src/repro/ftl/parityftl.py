@@ -59,3 +59,11 @@ class ParityFtl(PageFtl):
         backup = self.chips[chip_id].backup
         if backup is not None:
             backup.invalidate(gb)
+
+    def _release_block(self, chip_id: int, block: int) -> None:
+        super()._release_block(chip_id, block)
+        gb = self.mapping.global_block_of(chip_id, block)
+        self._unprotected_lsb.pop(gb, None)
+        backup = self.chips[chip_id].backup
+        if backup is not None:
+            backup.invalidate(gb)

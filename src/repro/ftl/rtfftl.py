@@ -113,6 +113,18 @@ class RtfFtl(BaseFtl):
         if backup is not None:
             backup.invalidate(gb)
 
+    def _release_block(self, chip_id: int, block: int) -> None:
+        pool = self._pools[chip_id]
+        for cursor in pool:
+            if cursor.block == block:
+                pool.remove(cursor)
+                break
+        gb = self.mapping.global_block_of(chip_id, block)
+        self._unprotected_lsb.pop(gb, None)
+        backup = self.chips[chip_id].backup
+        if backup is not None:
+            backup.invalidate(gb)
+
     # ------------------------------------------------------------------
     # aggressive idle-time return-to-fast collection
 

@@ -85,6 +85,11 @@ class SlcFtl(BaseFtl):
     ) -> Optional[Tuple[PhysicalPageAddress, PageType]]:
         return self._allocate(chip_id, for_gc=True)
 
+    def _release_block(self, chip_id: int, block: int) -> None:
+        cursor = self._active[chip_id]
+        if cursor is not None and cursor.block == block:
+            self._active[chip_id] = None
+
     # ------------------------------------------------------------------
     # accounting: a "full" SLC block holds only `wordlines` data pages,
     # so the invalid count must be computed against that, not against

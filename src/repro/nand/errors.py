@@ -33,3 +33,12 @@ class EccUncorrectableError(NandError):
 
 class AddressError(NandError, IndexError):
     """A physical address fell outside the device geometry."""
+
+
+class ReadOnlyDeviceError(NandError):
+    """A write was submitted to a device in read-only degraded mode.
+
+    Raised (as a request error, not an exception crossing the
+    simulation loop) once the spare-block reserve is exhausted and the
+    controller stops accepting writes; reads keep being served.
+    """

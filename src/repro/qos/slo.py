@@ -22,7 +22,12 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.metrics.latency import latency_summary
 from repro.sim.controller import StorageController
-from repro.sim.queues import Request, RequestKind
+from repro.sim.queues import (
+    REQUEST_FAILED,
+    REQUEST_RECOVERED,
+    Request,
+    RequestKind,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,13 +50,31 @@ class TenantAccount:
     written_pages: int = 0
     read_violations: int = 0
     write_violations: int = 0
+    #: requests that failed outright — rejected in read-only degraded
+    #: mode or reads whose data was lost (:mod:`repro.faults`)
+    failed_requests: int = 0
+    #: requests served only after a fault-recovery ladder
+    recovered_requests: int = 0
     first_arrival: Optional[float] = None
     last_completion: float = 0.0
     read_latencies: List[float] = dataclasses.field(default_factory=list)
     write_latencies: List[float] = dataclasses.field(default_factory=list)
 
     def record(self, request: Request, now: float) -> None:
-        """Fold one completed request into the account."""
+        """Fold one completed request into the account.
+
+        Failed requests are counted but excluded from the completion
+        and latency statistics — a rejected write's instant turnaround
+        would otherwise *improve* the tenant's percentiles.
+        """
+        if request.status == REQUEST_FAILED:
+            self.failed_requests += 1
+            if self.first_arrival is None \
+                    or request.time < self.first_arrival:
+                self.first_arrival = request.time
+            return
+        if request.status == REQUEST_RECOVERED:
+            self.recovered_requests += 1
         latency = now - request.time
         if self.first_arrival is None \
                 or request.time < self.first_arrival:
@@ -92,6 +115,8 @@ class TenantAccount:
             "written_pages": self.written_pages,
             "read_violations": self.read_violations,
             "write_violations": self.write_violations,
+            "failed_requests": self.failed_requests,
+            "recovered_requests": self.recovered_requests,
             "iops": iops,
             "read_latency": latency_summary(self.read_latencies),
             "write_latency": latency_summary(self.write_latencies),

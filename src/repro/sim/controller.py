@@ -18,10 +18,19 @@ from heapq import heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.nand.array import NandArray
+from repro.nand.errors import ReadOnlyDeviceError
 from repro.sim.kernel import Simulator
 from repro.sim.ops import FlashOp, OpKind
-from repro.sim.queues import BufferedWrite, Request, RequestKind, WriteBuffer
-from repro.sim.stats import SimStats
+from repro.sim.queues import (
+    REQUEST_FAILED,
+    REQUEST_OK,
+    REQUEST_RECOVERED,
+    BufferedWrite,
+    Request,
+    RequestKind,
+    WriteBuffer,
+)
+from repro.sim.stats import FaultStats, SimStats
 
 # OpKind members hoisted to module level for the dispatch hot path
 _PROGRAM = OpKind.PROGRAM
@@ -90,6 +99,12 @@ class StorageController:
         self._pumping = False
         #: op currently executing per chip (power-loss tooling inspects it)
         self.in_flight: Dict[int, FlashOp] = {}
+        #: fault injector consulted after every completed flash op, or
+        #: None (the default: fault-free runs pay one None check per op)
+        self._injector = None
+        #: True once the spare-block reserve is exhausted: writes are
+        #: rejected with ReadOnlyDeviceError, reads keep being served
+        self.read_only = False
 
     # ------------------------------------------------------------------
     # host interface
@@ -104,6 +119,9 @@ class StorageController:
         request.submitted_at = self.sim.now
         if request.kind is RequestKind.READ:
             self._submit_read(request)
+        elif self.read_only:
+            self._reject_write(request)
+            return
         else:
             self._admissions.append(request)
         self._pump()
@@ -361,6 +379,13 @@ class StorageController:
 
     def _on_op_done(self, chip_id: int, op: FlashOp,
                     read_request: Optional[Request]) -> None:
+        if self._injector is not None:
+            fault = self._injector.on_op_complete(chip_id, op)
+            if fault is not None and self._handle_fault(
+                    chip_id, op, read_request, fault):
+                # Read recovery defers this op's completion; the chip
+                # stays busy until the retry ladder finishes.
+                return
         self._busy[chip_id] = False
         insort(self._idle, chip_id)
         self.in_flight.pop(chip_id, None)
@@ -411,3 +436,171 @@ class StorageController:
         request.pages_remaining -= 1
         if request.pages_remaining == 0:
             self._complete_request(request)
+
+    # ------------------------------------------------------------------
+    # fault injection and recovery (see repro.faults)
+
+    def ensure_fault_stats(self) -> FaultStats:
+        """Attach (or return) the run's fault counters."""
+        if self.stats.faults is None:
+            self.stats.faults = FaultStats()
+        return self.stats.faults
+
+    def attach_fault_injector(self, injector) -> None:
+        """Arm runtime fault injection for the rest of the run.
+
+        ``injector`` is consulted after every completed flash op (see
+        :class:`repro.faults.injector.FaultInjector`); the FTL shares
+        the controller's fault counters from here on.
+        """
+        self._injector = injector
+        self.ftl.fault_stats = self.ensure_fault_stats()
+
+    def _handle_fault(self, chip_id: int, op: FlashOp,
+                      read_request: Optional[Request], fault) -> bool:
+        """Dispatch one injected fault.  Returns True when the op's
+        completion is deferred (read retry ladder in progress)."""
+        kind = fault.kind
+        if kind == "read_fault":
+            return self._begin_read_recovery(chip_id, op, read_request,
+                                             fault)
+        ftl = self.ftl
+        if kind == "program_fail":
+            ftl.handle_program_failure(chip_id, op)
+        elif kind == "erase_fail":
+            ftl.handle_erase_failure(chip_id, op)
+        else:  # grown_bad
+            ftl.handle_grown_bad(chip_id, op)
+        if ftl.degraded and not self.read_only:
+            self._enter_read_only()
+        return False
+
+    def _begin_read_recovery(self, chip_id: int, op: FlashOp,
+                             read_request: Optional[Request],
+                             fault) -> bool:
+        """Walk the read-retry ladder for a raw-BER excursion.
+
+        Re-read first; if the baseline ECC still fails, escalate to the
+        slow decode mode; if even that fails, reconstruct from parity
+        when a live parity page covers the block — otherwise the page's
+        data is lost.  The chip stays busy for the ladder's extra
+        latency; completion resumes in :meth:`_finish_read_recovery`.
+
+        Relocation reads (GC/salvage) only ever see the transient rung
+        here: their source blocks are cold and the interesting
+        data-loss semantics belong to host reads.
+        """
+        faults = self.stats.faults
+        t_read = self.timing.t_read
+        severity = fault.severity
+        if op.tag != "host":
+            severity = "transient"
+        if faults is not None:
+            faults.read_faults += 1
+            faults.read_retries += 1
+        extra = t_read  # the re-read
+        resolved = "retried"
+        if severity != "transient":
+            plan = self._injector.plan
+            if faults is not None:
+                faults.ecc_escalations += 1
+            extra += plan.ecc_escalation_reads * t_read
+            if severity == "uncorrectable":
+                if self.ftl.parity_covers(chip_id, op.addr):
+                    if faults is not None:
+                        faults.parity_reconstructions += 1
+                    # XOR across the block's other LSB pages
+                    extra += self.ftl.wordlines * t_read
+                    resolved = "reconstructed"
+                else:
+                    resolved = "lost"
+        sim = self.sim
+        heappush(sim._queue,
+                 [sim.now + extra, 0, next(sim._seq),
+                  self._finish_read_recovery,
+                  (chip_id, op, read_request, resolved),
+                  False, sim._cancelled])
+        return True
+
+    def _finish_read_recovery(self, chip_id: int, op: FlashOp,
+                              read_request: Optional[Request],
+                              resolved: str) -> None:
+        faults = self.stats.faults
+        if resolved == "lost" and op.lpn is not None \
+                and self.write_buffer.contains(op.lpn):
+            # A newer copy of the page arrived in the buffer while the
+            # ladder ran: nothing is actually lost.
+            resolved = "retried"
+        if resolved == "lost":
+            if faults is not None:
+                faults.lost_pages += 1
+            self.ftl.note_read_loss(op)
+            if read_request is not None:
+                read_request.status = REQUEST_FAILED
+        elif resolved == "reconstructed":
+            if faults is not None:
+                faults.reconstructed_pages += 1
+            self.ftl.note_read_reconstructed(chip_id, op)
+            if read_request is not None \
+                    and read_request.status == REQUEST_OK:
+                read_request.status = REQUEST_RECOVERED
+        elif read_request is not None \
+                and read_request.status == REQUEST_OK:
+            read_request.status = REQUEST_RECOVERED
+        self._busy[chip_id] = False
+        insort(self._idle, chip_id)
+        self.in_flight.pop(chip_id, None)
+        if op.on_complete is not None:
+            op.on_complete(self.sim.now)
+        if read_request is not None:
+            self._complete_read_page(read_request)
+        self._pump()
+
+    def _enter_read_only(self) -> None:
+        """Degrade to read-only mode: the spare reserve is exhausted."""
+        self.read_only = True
+        faults = self.stats.faults
+        if faults is not None:
+            faults.degraded_mode = True
+        while self._admissions:
+            self._reject_write(self._admissions.popleft())
+
+    def _reject_write(self, request: Request) -> None:
+        """Fail a write with a typed error (read-only degraded mode)."""
+        now = self.sim.now
+        request.status = REQUEST_FAILED
+        request.error = ReadOnlyDeviceError(
+            "device is read-only: spare-block reserve exhausted")
+        request.pages_remaining = 0
+        request.completed_at = now
+        faults = self.stats.faults
+        if faults is not None:
+            faults.writes_rejected += 1
+        if self.completion_hook is not None:
+            self.completion_hook(request, now)
+        if request.on_complete is not None:
+            request.on_complete(request, now)
+
+    def reset_after_power_loss(self) -> int:
+        """Clear volatile controller state after a power cut.
+
+        Returns the number of buffered host pages whose RAM copy died
+        with the power (they had already been acknowledged to the host
+        under buffered-write semantics).
+        """
+        buffer = self.write_buffer
+        dropped = buffer._live
+        buffer._fifo.clear()
+        buffer._resident.clear()
+        buffer._stale.clear()
+        buffer._live = 0
+        self._admissions.clear()
+        for queue in self._read_queues:
+            queue.clear()
+        self._queued_reads = 0
+        self.in_flight.clear()
+        chips = self._total_chips
+        self._busy = [False] * chips
+        self._idle = list(range(chips))
+        self._channel_free = [0.0] * self.geometry.channels
+        return dropped

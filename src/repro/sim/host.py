@@ -123,6 +123,23 @@ class ClosedLoopHost:
         if self._cursor[index] < len(self.streams[index]):
             self.sim.schedule(think, self._issue, index)
 
+    def resume(self) -> int:
+        """Re-issue every unfinished stream after a power cut.
+
+        A power-off halts the event queue, so streams whose in-flight
+        request never completed are stalled on an ``on_complete`` that
+        will never fire.  This re-schedules each unfinished stream at
+        its current cursor — the host retries the interrupted op, as a
+        real application would after a crash.  Returns the number of
+        streams restarted.
+        """
+        restarted = 0
+        for index, stream in enumerate(self.streams):
+            if self._cursor[index] < len(stream):
+                self.sim.schedule(0.0, self._issue, index)
+                restarted += 1
+        return restarted
+
 
 def run_closed_loop(sim: Simulator, controller: StorageController,
                     streams: Sequence[Sequence[StreamOp]],

@@ -37,6 +37,9 @@ class FlashOp:
         on_complete: called with the completion timestamp after the
             operation's latency has elapsed.
         data: optional payload for data-bearing runs.
+        source: for relocation programs (GC/salvage copies), the page
+            the data was read from.  Power-loss recovery rolls a
+            not-yet-executed relocation back to this durable copy.
     """
 
     kind: OpKind
@@ -45,6 +48,7 @@ class FlashOp:
     lpn: Optional[int] = None
     on_complete: Optional[Callable[[float], None]] = None
     data: Optional[bytes] = None
+    source: Optional[PhysicalPageAddress] = None
 
     def __repr__(self) -> str:
         return (

@@ -56,25 +56,71 @@ class PowerLossReport:
 
 
 class ScheduledPowerLoss:
-    """Arms a power-off at ``at_time`` on a running simulation."""
+    """Arms power-offs at absolute simulation times.
+
+    Single-cut usage is unchanged: ``ScheduledPowerLoss(sim, ctrl, t)``
+    arms one cut and :attr:`report` describes it after it fires.
+
+    Multi-cut usage (``at_times=[t1, t2, ...]``) models a machine that
+    keeps losing power across reboots: only the *next* cut is armed at
+    a time; after recovery the resume loop calls :meth:`arm_next` to
+    arm the following one.  Each fired cut appends to :attr:`reports`.
+    """
 
     def __init__(self, sim: Simulator, controller: StorageController,
-                 at_time: float) -> None:
+                 at_time: "float | None" = None, *,
+                 at_times: "List[float] | None" = None) -> None:
+        if (at_time is None) == (at_times is None):
+            raise ValueError(
+                "provide exactly one of at_time or at_times")
         self.sim = sim
         self.controller = controller
-        self.report: "PowerLossReport | None" = None
-        self._event = sim.schedule_at(at_time, self._fire, priority=-1)
+        self.reports: List[PowerLossReport] = []
+        if at_times is None:
+            schedule = [at_time]
+        else:
+            schedule = sorted(at_times)
+            if not schedule:
+                raise ValueError("at_times must not be empty")
+        #: cut times not yet armed (the head is armed on construction
+        #: and after each arm_next call)
+        self._schedule: List[float] = list(schedule)
+        self._event = None
+        self.arm_next()
+
+    @property
+    def report(self) -> "PowerLossReport | None":
+        """The most recent fired cut (None before the first)."""
+        return self.reports[-1] if self.reports else None
 
     @property
     def fired(self) -> bool:
-        """Whether the power-off has happened."""
-        return self.report is not None
+        """Whether at least one power-off has happened."""
+        return bool(self.reports)
+
+    @property
+    def armed(self) -> bool:
+        """Whether a cut event is currently live in the event queue."""
+        return self._event is not None and not self._event.cancelled
+
+    def arm_next(self) -> bool:
+        """Arm the next scheduled cut; False when none remain."""
+        if not self._schedule:
+            return False
+        at_time = self._schedule.pop(0)
+        self._event = self.sim.schedule_at(at_time, self._fire,
+                                           priority=-1)
+        return True
 
     def cancel(self) -> None:
-        """Disarm the power-off (e.g. the run ended first)."""
-        self._event.cancel()
+        """Disarm the power-off and drop any remaining schedule
+        (e.g. the run ended cleanly first)."""
+        if self._event is not None:
+            self._event.cancel()
+        self._schedule.clear()
 
     def _fire(self) -> None:
+        self._event = None
         interrupted: List[PhysicalPageAddress] = []
         destroyed: List[PhysicalPageAddress] = []
         for op in self.controller.in_flight.values():
@@ -85,11 +131,14 @@ class ScheduledPowerLoss:
                 apply_power_loss_to_in_flight(self.controller.array,
                                               op.addr)
             )
-        self.report = PowerLossReport(
+        self.reports.append(PowerLossReport(
             time=self.sim.now,
             interrupted_programs=interrupted,
             destroyed_pages=destroyed,
-        )
+        ))
+        faults = self.controller.stats.faults
+        if faults is not None:
+            faults.power_cuts += 1
         self.sim.halt()
 
 
@@ -110,7 +159,7 @@ def verify_flexftl_protection(ftl, report: PowerLossReport) -> List[str]:
     violations: List[str] = []
     for addr in report.collateral_lsb_pages:
         chip_id = ftl.geometry.chip_id(addr.channel, addr.chip)
-        if addr.block >= ftl.data_blocks_per_chip:
+        if addr.block >= ftl.backup_block_start:
             continue  # a backup block's own page
         backup = ftl.chips[chip_id].backup
         gb = ftl.mapping.global_block_of(chip_id, addr.block)

@@ -21,6 +21,12 @@ class RequestKind(enum.Enum):
     WRITE = "write"
 
 
+#: Completion statuses a request can carry (see :attr:`Request.status`).
+REQUEST_OK = "ok"
+REQUEST_RECOVERED = "recovered"
+REQUEST_FAILED = "failed"
+
+
 @dataclasses.dataclass(slots=True)
 class Request:
     """One host I/O request covering ``npages`` consecutive pages.
@@ -45,6 +51,16 @@ class Request:
     # -- runtime bookkeeping (filled in by the host/controller) -------
     pages_remaining: int = dataclasses.field(default=-1, repr=False)
     submitted_at: float = dataclasses.field(default=0.0, repr=False)
+    #: completion status: :data:`REQUEST_OK` (default),
+    #: :data:`REQUEST_RECOVERED` (served, but only after the controller
+    #: walked a fault-recovery ladder) or :data:`REQUEST_FAILED`
+    #: (rejected or data lost); completion hooks and SLO accounting
+    #: read it.
+    status: str = dataclasses.field(default=REQUEST_OK, repr=False)
+    #: the typed error behind a failed request (e.g.
+    #: :class:`~repro.nand.errors.ReadOnlyDeviceError`), or None.
+    error: Optional[Exception] = dataclasses.field(default=None,
+                                                   repr=False)
     completed_at: Optional[float] = dataclasses.field(default=None,
                                                       repr=False)
     #: called as ``on_complete(request, time)`` when the request

@@ -81,6 +81,53 @@ class WindowedBandwidth:
 
 
 @dataclasses.dataclass
+class FaultStats:
+    """Fault-injection and recovery counters of one run.
+
+    Attached to :class:`SimStats` only when fault injection (or the
+    power-loss resume path) is armed; fault-free runs keep the field
+    ``None`` so their serialized form — and the golden byte-identity
+    tests — are unchanged.
+    """
+
+    #: injected faults, by kind
+    program_failures: int = 0
+    backup_program_failures: int = 0
+    erase_failures: int = 0
+    read_faults: int = 0
+    grown_bad_blocks: int = 0
+    power_cuts: int = 0
+
+    #: recovery-ladder activity
+    read_retries: int = 0
+    ecc_escalations: int = 0
+    parity_reconstructions: int = 0
+    erase_retries: int = 0
+    redriven_writes: int = 0
+    salvaged_pages: int = 0
+    reconstructed_pages: int = 0
+
+    #: bad-block management
+    retired_blocks: int = 0
+    spares_consumed: int = 0
+
+    #: damage that could not be recovered
+    lost_pages: int = 0
+    lost_inflight_writes: int = 0
+    writes_rejected: int = 0
+    degraded_mode: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass
 class SimStats:
     """Aggregated outcome of one simulation run."""
 
@@ -97,6 +144,9 @@ class SimStats:
     read_latencies: List[float] = dataclasses.field(default_factory=list)
     write_latencies: List[float] = dataclasses.field(default_factory=list)
     write_bandwidth: WindowedBandwidth = dataclasses.field(default=None)  # type: ignore[assignment]
+    #: fault-injection counters, present only when injection was armed
+    #: (None keeps fault-free serialized results byte-identical)
+    faults: Optional[FaultStats] = None
 
     def __post_init__(self) -> None:
         if self.write_bandwidth is None:
@@ -134,8 +184,12 @@ class SimStats:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
-        return {
+        """JSON-safe snapshot, invertible via :meth:`from_dict`.
+
+        The ``faults`` key appears only when fault counters exist, so
+        fault-free snapshots keep their historical shape.
+        """
+        data: Dict[str, object] = {
             "page_size": self.page_size,
             "bandwidth_window": self.bandwidth_window,
             "completed_reads": self.completed_reads,
@@ -149,6 +203,9 @@ class SimStats:
             "write_latencies": list(self.write_latencies),
             "write_bandwidth": self.write_bandwidth.to_dict(),
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimStats":
@@ -168,6 +225,9 @@ class SimStats:
         )
         stats.write_bandwidth = WindowedBandwidth.from_dict(
             data["write_bandwidth"])  # type: ignore[arg-type]
+        faults = data.get("faults")
+        if faults is not None:
+            stats.faults = FaultStats.from_dict(faults)  # type: ignore[arg-type]
         return stats
 
     # ------------------------------------------------------------------

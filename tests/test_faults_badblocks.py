@@ -1,0 +1,133 @@
+"""Tests for the bad-block table and block-retirement machinery."""
+
+import pytest
+
+from repro.core.flexftl import FlexFtl
+from repro.faults.badblocks import BadBlockManager
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.nand.geometry import NandGeometry
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import RequestKind
+
+from tests.helpers import build_small_system
+
+GEOMETRY = NandGeometry(channels=2, chips_per_channel=2,
+                        blocks_per_chip=16, pages_per_block=16,
+                        page_size=512)
+
+
+def write_stream(count, span, stride=3):
+    return [StreamOp(RequestKind.WRITE, (i * stride) % span, 1)
+            for i in range(count)]
+
+
+class TestBadBlockManager:
+    def test_retire_hands_out_spares_fifo(self):
+        manager = BadBlockManager(spare_blocks=[10, 11])
+        assert manager.retire(3) == 10
+        assert manager.retire(4) == 11
+        assert manager.grown == [3, 4]
+        assert manager.spares_consumed == 2
+
+    def test_retire_exhausts_then_returns_none(self):
+        manager = BadBlockManager(spare_blocks=[10])
+        assert not manager.exhausted
+        assert manager.retire(3) == 10
+        assert manager.exhausted
+        assert manager.retire(4) is None
+        assert manager.spares_remaining == 0
+        # the block is still recorded even without a replacement
+        assert manager.is_bad(4)
+
+    def test_double_retire_records_once(self):
+        manager = BadBlockManager(spare_blocks=[10, 11])
+        manager.retire(3)
+        manager.retire(3)
+        assert manager.grown == [3]
+        # ...but each retirement call still costs a spare (the FTL
+        # never double-retires; this documents the contract).
+        assert manager.spares_consumed == 2
+
+    def test_factory_bad_table(self):
+        manager = BadBlockManager(spare_blocks=[10], factory_bad=[0])
+        assert manager.is_bad(0)
+        assert not manager.is_bad(5)
+        assert manager.mark_factory_bad(5) == 10
+        assert manager.is_bad(5)
+        assert manager.mark_factory_bad(6) is None
+
+    def test_empty_reserve_is_exhausted_from_the_start(self):
+        manager = BadBlockManager()
+        assert manager.exhausted
+        assert manager.retire(1) is None
+
+
+class TestFtlRetirement:
+    def _run_with_program_failure(self, ftl_cls, spares, fail_index=40):
+        config = FtlConfig(spare_blocks_per_chip=spares)
+        system = build_small_system(ftl_cls, GEOMETRY, buffer_pages=32,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        plan = FaultPlan(events=(
+            FaultEvent("program_fail", chip=0, op_index=fail_index),))
+        controller.attach_fault_injector(
+            FaultInjector(plan, page_size=GEOMETRY.page_size))
+        host = ClosedLoopHost(sim, controller,
+                              [write_stream(400, span=300)])
+        host.start()
+        sim.run()
+        return ftl, controller
+
+    @pytest.mark.parametrize("ftl_cls", [PageFtl, FlexFtl])
+    def test_program_failure_retires_block_and_consumes_spare(
+            self, ftl_cls):
+        ftl, controller = self._run_with_program_failure(ftl_cls,
+                                                         spares=2)
+        faults = controller.stats.faults
+        assert faults.program_failures == 1
+        assert faults.retired_blocks == 1
+        assert faults.spares_consumed == 1
+        assert not faults.degraded_mode
+        assert not controller.read_only
+        # the grown-bad table on chip 0 holds the failed block
+        assert len(ftl.chips[0].bad_blocks.grown) == 1
+        bad = ftl.chips[0].bad_blocks.grown[0]
+        # ...which is out of every allocation pool
+        assert bad not in ftl.chips[0].free_blocks
+        assert bad not in ftl.chips[0].full_blocks
+
+    def test_spare_exhaustion_degrades_to_read_only(self):
+        ftl, controller = self._run_with_program_failure(PageFtl,
+                                                         spares=0)
+        faults = controller.stats.faults
+        assert faults.retired_blocks == 1
+        assert faults.spares_consumed == 0
+        assert ftl.degraded
+        assert controller.read_only
+        assert faults.degraded_mode
+
+    def test_factory_bad_blocks_never_allocated(self):
+        config = FtlConfig(spare_blocks_per_chip=2)
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=32,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        ftl.mark_factory_bad(0, 3)
+        host = ClosedLoopHost(sim, controller,
+                              [write_stream(600, span=300)])
+        host.start()
+        sim.run()
+        # nothing was ever programmed into the factory-bad block
+        assert array.chips[0].blocks[3].programmed_count() == 0
+        assert ftl.chips[0].bad_blocks.is_bad(3)
+
+    def test_factory_bad_must_be_marked_before_traffic(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=32)
+        sim, array, buffer, ftl, controller = system
+        ftl.mark_factory_bad(0, 5)
+        with pytest.raises(ValueError):
+            ftl.mark_factory_bad(0, 5)  # no longer free
+        with pytest.raises(ValueError):
+            ftl.mark_factory_bad(0, GEOMETRY.blocks_per_chip + 1)

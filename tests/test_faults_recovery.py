@@ -1,0 +1,212 @@
+"""Tests for in-line fault recovery: re-drive, read-retry ladder,
+and read-only graceful degradation."""
+
+import pytest
+
+from repro.core.flexftl import FlexFtl
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.ftl.base import FtlConfig
+from repro.ftl.pageftl import PageFtl
+from repro.nand.errors import ReadOnlyDeviceError
+from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.sim.queues import (
+    REQUEST_FAILED,
+    REQUEST_OK,
+    REQUEST_RECOVERED,
+    Request,
+    RequestKind,
+)
+from repro.nand.geometry import NandGeometry
+
+from tests.helpers import build_small_system
+
+GEOMETRY = NandGeometry(channels=2, chips_per_channel=2,
+                        blocks_per_chip=16, pages_per_block=16,
+                        page_size=512)
+SPAN = 64
+
+
+def _written_system(ftl_cls, **config_kwargs):
+    """A system with SPAN logical pages written and settled."""
+    config = FtlConfig(bg_gc_enabled=False, **config_kwargs)
+    system = build_small_system(ftl_cls, GEOMETRY, buffer_pages=16,
+                                ftl_config=config)
+    sim, array, buffer, ftl, controller = system
+    host = ClosedLoopHost(sim, controller, [
+        [StreamOp(RequestKind.WRITE, lpn, 1) for lpn in range(SPAN)]
+    ])
+    host.start()
+    sim.run()
+    return sim, array, buffer, ftl, controller
+
+
+def _pick_lpn(ftl, buffer, covered):
+    """A flushed lpn whose block does (not) have live parity."""
+    for lpn in range(SPAN):
+        if buffer.contains(lpn):
+            continue
+        addr = ftl.mapping.lookup_address(lpn)
+        if addr is None:
+            continue
+        chip_id = ftl.geometry.chip_id(addr.channel, addr.chip)
+        if ftl.parity_covers(chip_id, addr) == covered:
+            return lpn, chip_id
+    pytest.skip(f"no settled lpn with parity_covers={covered}")
+
+
+def _faulted_read(sim, controller, ftl, buffer, severity, covered):
+    """Submit one read whose first NAND access hits a read fault."""
+    lpn, chip_id = _pick_lpn(ftl, buffer, covered)
+    plan = FaultPlan(events=(
+        FaultEvent("read_fault", chip=chip_id, op_index=0,
+                   severity=severity),))
+    controller.attach_fault_injector(
+        FaultInjector(plan, page_size=GEOMETRY.page_size))
+    request = Request(sim.now, RequestKind.READ, lpn, 1)
+    submitted = sim.now
+    controller.submit(request)
+    sim.run()
+    return request, sim.now - submitted
+
+
+class TestProgramFailureRedrive:
+    def test_redrive_preserves_every_logical_page(self):
+        config = FtlConfig(spare_blocks_per_chip=2)
+        system = build_small_system(FlexFtl, GEOMETRY, buffer_pages=16,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        plan = FaultPlan(events=(
+            FaultEvent("program_fail", chip=0, op_index=10),))
+        controller.attach_fault_injector(
+            FaultInjector(plan, page_size=GEOMETRY.page_size))
+        host = ClosedLoopHost(sim, controller, [
+            [StreamOp(RequestKind.WRITE, lpn, 1) for lpn in range(SPAN)]
+        ])
+        host.start()
+        sim.run()
+        faults = controller.stats.faults
+        assert faults.program_failures == 1
+        assert faults.redriven_writes >= 1
+        assert faults.lost_pages == 0
+        # Every logical page is still resolvable, and its physical
+        # page really is programmed silicon.
+        for lpn in range(SPAN):
+            if buffer.contains(lpn):
+                continue
+            addr = ftl.mapping.lookup_address(lpn)
+            assert addr is not None, f"lpn {lpn} lost its mapping"
+            assert array.is_programmed(addr), \
+                f"lpn {lpn} maps to an unprogrammed page"
+
+
+class TestReadRetryLadder:
+    def test_transient_fault_reread_only(self):
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, _ = _faulted_read(sim, controller, ftl, buffer,
+                                   "transient", covered=False)
+        faults = controller.stats.faults
+        assert faults.read_faults == 1
+        assert faults.read_retries == 1
+        assert faults.ecc_escalations == 0
+        assert faults.lost_pages == 0
+        assert request.status == REQUEST_RECOVERED
+
+    def test_ecc_fault_escalates_after_reread(self):
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, _ = _faulted_read(sim, controller, ftl, buffer,
+                                   "ecc", covered=False)
+        faults = controller.stats.faults
+        assert faults.read_retries == 1
+        assert faults.ecc_escalations == 1
+        assert faults.parity_reconstructions == 0
+        assert faults.lost_pages == 0
+        assert request.status == REQUEST_RECOVERED
+
+    def test_uncorrectable_without_parity_reports_loss(self):
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, _ = _faulted_read(sim, controller, ftl, buffer,
+                                   "uncorrectable", covered=False)
+        faults = controller.stats.faults
+        assert faults.ecc_escalations == 1
+        assert faults.parity_reconstructions == 0
+        assert faults.lost_pages == 1
+        assert request.status == REQUEST_FAILED
+
+    def test_uncorrectable_with_parity_reconstructs(self):
+        sim, array, buffer, ftl, controller = _written_system(FlexFtl)
+        request, _ = _faulted_read(sim, controller, ftl, buffer,
+                                   "uncorrectable", covered=True)
+        faults = controller.stats.faults
+        assert faults.ecc_escalations == 1
+        assert faults.parity_reconstructions == 1
+        assert faults.reconstructed_pages == 1
+        assert faults.lost_pages == 0
+        assert request.status == REQUEST_RECOVERED
+
+    def test_ladder_rungs_cost_increasing_latency(self):
+        """Each rung adds reads: re-read < +escalation < +parity XOR."""
+        latencies = {}
+        for severity, covered in [(None, False), ("transient", False),
+                                  ("ecc", False),
+                                  ("uncorrectable", True)]:
+            sim, array, buffer, ftl, controller = \
+                _written_system(FlexFtl)
+            if severity is None:
+                lpn, _ = _pick_lpn(ftl, buffer, covered=True)
+                request = Request(sim.now, RequestKind.READ, lpn, 1)
+                start = sim.now
+                controller.submit(request)
+                sim.run()
+                latencies[None] = sim.now - start
+            else:
+                _, elapsed = _faulted_read(sim, controller, ftl,
+                                           buffer, severity, covered)
+                latencies[severity] = elapsed
+        assert latencies[None] < latencies["transient"] \
+            < latencies["ecc"] < latencies["uncorrectable"]
+
+
+class TestGracefulDegradation:
+    def _degraded_system(self):
+        config = FtlConfig(bg_gc_enabled=False,
+                           spare_blocks_per_chip=0)
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16,
+                                    ftl_config=config)
+        sim, array, buffer, ftl, controller = system
+        plan = FaultPlan(events=(
+            FaultEvent("program_fail", chip=0, op_index=10),))
+        controller.attach_fault_injector(
+            FaultInjector(plan, page_size=GEOMETRY.page_size))
+        host = ClosedLoopHost(sim, controller, [
+            [StreamOp(RequestKind.WRITE, lpn, 1) for lpn in range(SPAN)]
+        ])
+        host.start()
+        sim.run()
+        return sim, buffer, ftl, controller
+
+    def test_spare_exhaustion_flips_read_only(self):
+        sim, buffer, ftl, controller = self._degraded_system()
+        assert ftl.degraded
+        assert controller.read_only
+        assert controller.stats.faults.degraded_mode
+
+    def test_writes_rejected_with_typed_error(self):
+        sim, buffer, ftl, controller = self._degraded_system()
+        request = Request(sim.now, RequestKind.WRITE, 0, 1)
+        controller.submit(request)
+        sim.run()
+        assert request.status == REQUEST_FAILED
+        assert isinstance(request.error, ReadOnlyDeviceError)
+        assert controller.stats.faults.writes_rejected >= 1
+
+    def test_reads_still_served_in_degraded_mode(self):
+        sim, buffer, ftl, controller = self._degraded_system()
+        lpn = next(lpn for lpn in range(SPAN)
+                   if buffer.contains(lpn)
+                   or ftl.mapping.lookup(lpn) is not None)
+        request = Request(sim.now, RequestKind.READ, lpn, 1)
+        controller.submit(request)
+        sim.run()
+        assert request.status == REQUEST_OK
+        assert request.completed_at is not None

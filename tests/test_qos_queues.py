@@ -6,7 +6,12 @@ import pytest
 
 from repro.qos.queues import SubmissionQueue
 from repro.qos.slo import SloAccountant, SloTarget, TenantAccount
-from repro.sim.queues import Request, RequestKind
+from repro.sim.queues import (
+    REQUEST_FAILED,
+    REQUEST_RECOVERED,
+    Request,
+    RequestKind,
+)
 
 
 def write(time=0.0, npages=1, tenant="t"):
@@ -106,6 +111,34 @@ class TestTenantAccount:
         assert math.isnan(summary["iops"])
         assert math.isnan(summary["write_latency"]["p99"])
         assert summary["completed_writes"] == 0
+
+    def test_failed_requests_counted_not_completed(self):
+        account = TenantAccount("t")
+        failed = write(time=0.0)
+        failed.status = REQUEST_FAILED
+        account.record(failed, now=0.002)
+        assert account.failed_requests == 1
+        assert account.completed_writes == 0
+        assert account.written_pages == 0
+        assert account.write_latencies == []
+
+    def test_recovered_requests_counted_and_completed(self):
+        account = TenantAccount("t")
+        recovered = read(time=0.0)
+        recovered.status = REQUEST_RECOVERED
+        account.record(recovered, now=0.002)
+        assert account.recovered_requests == 1
+        assert account.completed_reads == 1
+        assert account.read_latencies == [pytest.approx(0.002)]
+
+    def test_summary_reports_fault_outcomes(self):
+        account = TenantAccount("t")
+        failed = write(time=0.0)
+        failed.status = REQUEST_FAILED
+        account.record(failed, now=0.001)
+        summary = account.summary()
+        assert summary["failed_requests"] == 1
+        assert summary["recovered_requests"] == 0
 
 
 class TestSloAccountant:

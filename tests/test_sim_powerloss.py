@@ -93,6 +93,61 @@ class TestScheduledPowerLoss:
         assert not spo.fired
 
 
+class TestMultiCutSchedule:
+    def test_requires_exactly_one_schedule_form(self):
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16)
+        sim, _, _, _, controller = system
+        with pytest.raises(ValueError):
+            ScheduledPowerLoss(sim, controller)
+        with pytest.raises(ValueError):
+            ScheduledPowerLoss(sim, controller, at_time=0.1,
+                               at_times=[0.2])
+
+    def test_cuts_fire_in_sequence_with_recovery_between(self):
+        from repro.faults.recovery import recover_after_power_loss
+
+        system = build_small_system(FlexFtl, GEOMETRY, buffer_pages=32)
+        sim, array, buffer, ftl, controller = system
+        host = ClosedLoopHost(sim, controller,
+                              [write_stream(900, span=500)])
+        host.start()
+        spo = ScheduledPowerLoss(sim, controller,
+                                 at_times=[0.01, 0.02])
+        sim.run()
+        assert len(spo.reports) == 1
+        assert sim.now == pytest.approx(0.01)
+        assert not spo.armed  # next cut not armed until asked
+
+        recovery = recover_after_power_loss(controller, spo.reports[0])
+        assert recovery.time == pytest.approx(0.01)
+        assert host.resume() == 1
+        assert spo.arm_next()
+        assert spo.armed
+        sim.run()
+        assert len(spo.reports) == 2
+        assert spo.reports[1].time == pytest.approx(0.02)
+        assert not spo.arm_next()  # schedule exhausted
+
+    def test_clean_shutdown_leaves_no_armed_event(self):
+        """A run that finishes before the cut must disarm cleanly."""
+        system = build_small_system(PageFtl, GEOMETRY, buffer_pages=16)
+        sim, _, _, _, controller = system
+        host = ClosedLoopHost(sim, controller,
+                              [write_stream(20, span=50)])
+        host.start()
+        spo = ScheduledPowerLoss(sim, controller,
+                                 at_times=[1e9, 2e9])
+        sim.run(until=1.0)  # workload drains long before the cut
+        assert not spo.fired
+        assert spo.armed
+        spo.cancel()
+        assert not spo.armed
+        assert spo._event is None or spo._event.cancelled
+        assert not spo.arm_next()  # cancel cleared the whole schedule
+        sim.run()
+        assert not spo.fired
+
+
 class TestFlexFtlProtectionInvariant:
     @pytest.mark.parametrize("cut_ms", [5, 11, 23, 47, 95, 190])
     def test_destroyed_lsb_pages_always_have_live_parity(self, cut_ms):
