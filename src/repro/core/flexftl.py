@@ -192,6 +192,9 @@ class FlexFtl(BaseFtl):
                 return None
             fast = PhaseCursor(block, manager.wordlines, PageType.LSB)
             manager._fast = fast
+            if self._trace is not None:
+                self._trace.event("2po.fast_open", chip=chip_id,
+                                  block=block)
         # TwoPhaseBlockManager.take_lsb, inlined without the TakenPage
         # (per-LSB-write hot path); keep in sync with
         # :meth:`repro.core.block_manager.TwoPhaseBlockManager.take_lsb`.
@@ -205,6 +208,9 @@ class FlexFtl(BaseFtl):
             manager._sbqueue.append(
                 PhaseCursor(block, manager.wordlines, PageType.MSB))
             manager._fast = None
+            if self._trace is not None:
+                self._trace.event("2po.lsb_complete", chip=chip_id,
+                                  block=block)
             self._enqueue_parity_backup(
                 chip_id,
                 owner=self.mapping.global_block_of(chip_id, block))
@@ -368,6 +374,9 @@ class FlexFtl(BaseFtl):
                         sbqueue.append(
                             PhaseCursor(block, wordlines, PageType.MSB))
                         manager._fast = None
+                        if self._trace is not None:
+                            self._trace.event("2po.lsb_complete",
+                                              chip=chip_id, block=block)
                         self._enqueue_parity_backup(
                             chip_id,
                             owner=self.mapping.global_block_of(

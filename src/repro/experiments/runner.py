@@ -248,6 +248,7 @@ def run_workload(
     config: Optional[ExperimentConfig] = None,
     max_events: Optional[int] = None,
     warmup_span: Optional[int] = None,
+    tracer: Optional[object] = None,
 ) -> RunResult:
     """Precondition, run one workload, and report measured-phase results.
 
@@ -264,6 +265,12 @@ def run_workload(
         max_events: optional simulation event cap (safety backstop).
         warmup_span: logical pages to precondition (defaults to the
             workload's footprint: the highest page any stream touches).
+        tracer: optional :class:`~repro.observability.tracer.Tracer`;
+            when given (and enabled) it is installed for the whole run
+            with ``warmup``/``measured`` profiling phases, its metrics
+            registry is attached to the measured stats, and it is
+            detached before returning.  ``None`` (the default) leaves
+            the run untouched.
 
     Returns:
         A :class:`RunResult` whose statistics and counters cover only
@@ -271,6 +278,11 @@ def run_workload(
     """
     config = config or ExperimentConfig()
     sim, array, buffer, ftl, controller = build_system(ftl_name, config)
+
+    tracing = tracer is not None and getattr(tracer, "enabled", True)
+    if tracing:
+        tracer.install(controller)
+        tracer.begin_phase("warmup")
 
     if config.warmup:
         if warmup_span is None:
@@ -292,9 +304,15 @@ def run_workload(
                               bandwidth_window=config.bandwidth_window)
     controller.stats = measured_stats
 
+    if tracing:
+        tracer.begin_phase("measured")
     host = ClosedLoopHost(sim, controller, streams)
     host.start()
     sim.run(max_events=max_events)
+    if tracing:
+        tracer.finish()
+        measured_stats.metrics = tracer.metrics
+        tracer.detach()
 
     final = _snapshot(ftl)
     deltas = {key: final[key] - baseline.get(key, 0) for key in final}

@@ -121,6 +121,10 @@ def recover_after_power_loss(controller: StorageController,
             slot = backup.invalidate(owner)
             if addr in interrupted and slot is not None:
                 backup.rewind_slot(slot)
+                if controller._trace is not None:
+                    controller._trace.event(
+                        "parity.rewind", chip=chip_id,
+                        block=slot.block, page=slot.page)
 
     reconstructed = 0
     lost = 0

@@ -170,6 +170,18 @@ class BaseFtl(abc.ABC):
     #: "lsb" for RPS devices writing parity to LSB pages only.
     backup_order: str = "fps"
 
+    #: Observability hooks (:mod:`repro.observability`), planted by
+    #: ``Tracer.install``.  Class-level ``None`` keeps untraced runs
+    #: free of any per-site cost beyond one attribute load; only cold
+    #: paths (GC begin, block close, parity backup, fault recovery)
+    #: carry emission sites.
+    _trace = None
+    _metrics = None
+    #: pre-resolved per-chip parity.writes counters, planted by
+    #: Tracer.install (the parity path is too frequent for labeled
+    #: registry lookups)
+    _parity_counters = None
+
     def __init__(self, array: NandArray, write_buffer: WriteBuffer,
                  config: Optional[FtlConfig] = None) -> None:
         self.array = array
@@ -407,6 +419,14 @@ class BaseFtl(abc.ABC):
             self.background_gcs += 1
         else:
             self.foreground_gcs += 1
+        if self._trace is not None:
+            self._trace.event("gc.victim", chip=chip_id,
+                              block=victim_block, valid=len(valid),
+                              background=int(background))
+        if self._metrics is not None:
+            self._metrics.counter(
+                "gc.collections", chip=chip_id,
+                mode="background" if background else "foreground").inc()
 
     def _gc_step(self, chip_id: int, *_unused: object) -> Optional[FlashOp]:
         """Produce the next GC operation for the chip.
@@ -493,6 +513,9 @@ class BaseFtl(abc.ABC):
     def _mark_block_full(self, chip_id: int, block: int) -> None:
         """Move a fully-written block into the GC-eligible full set."""
         self.chips[chip_id].full_blocks.add(block)
+        if self._trace is not None:
+            self._trace.event("2po.block_full", chip=chip_id,
+                              block=block)
         self._on_block_full(chip_id, block)
 
     def _enqueue_parity_backup(self, chip_id: int, owner: object) -> None:
@@ -528,6 +551,14 @@ class BaseFtl(abc.ABC):
             tag="backup",
         ))
         self.backup_programs += 1
+        trace = self._trace
+        if trace is not None:
+            # owner is a global block id; warm path — see Tracer.warm_parity
+            trace.warm_parity(chip_id, int(owner), slot.block,
+                              slot.page, int(cycle is not None))
+        counters = self._parity_counters
+        if counters is not None:
+            counters[chip_id].inc()
 
     # ------------------------------------------------------------------
     # fault handling (driven by the controller; see repro.faults)
@@ -579,6 +610,7 @@ class BaseFtl(abc.ABC):
         work = self._fault_work(chip_id)
         mapping = self.mapping
         own_ppn = self._ppn(addr)
+        redriven = lost_count = 0
         for lost in destroyed:
             ppn = self._ppn(lost)
             lpn = mapping.lpn_of(ppn)
@@ -591,10 +623,21 @@ class BaseFtl(abc.ABC):
                         stats.reconstructed_pages += 1
                 mapping.unmap(lpn)
                 work.redrive.append(lpn)
+                redriven += 1
             else:
                 mapping.unmap(lpn)
                 if stats is not None:
                     stats.lost_pages += 1
+                lost_count += 1
+        if self._trace is not None:
+            if redriven:
+                self._trace.event("fault.recover", chip=chip_id,
+                                  fault="program_fail",
+                                  outcome="redriven", pages=redriven)
+            if lost_count:
+                self._trace.event("fault.recover", chip=chip_id,
+                                  fault="program_fail", outcome="lost",
+                                  pages=lost_count)
         self._retire_block(chip_id, addr.block)
 
     def _handle_backup_program_failure(self, chip_id: int,
@@ -675,6 +718,8 @@ class BaseFtl(abc.ABC):
         """
         state = self.chips[chip_id]
         stats = self.fault_stats
+        if self._metrics is not None:
+            self._metrics.counter("blocks.retired", chip=chip_id).inc()
         state.full_blocks.discard(block)
         try:
             state.free_blocks.remove(block)

@@ -1,0 +1,77 @@
+"""Per-phase wall-clock and kernel event-count profiling.
+
+The PR-2 kernel loop retires hundreds of thousands of events per
+second; attributing wall time to *phases* of a run (preconditioning
+fill vs. measured workload) is the cheapest profiling that still
+answers "where did the time go".  A :class:`PhaseProfiler` samples
+``time.perf_counter``, ``Simulator.processed`` and ``Simulator.now``
+at each phase boundary — three attribute reads per phase, nothing per
+event — and reports one :class:`PhaseTiming` per phase.
+
+The :class:`~repro.observability.tracer.Tracer` owns a profiler and
+turns its timings into ``profile.phase`` trace events, which
+``repro trace summary`` renders.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseTiming:
+    """One completed profiling phase."""
+
+    name: str
+    wall_seconds: float
+    events: int
+    sim_seconds: float
+    sim_end: float
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel event rate over the phase (nan for a zero-length
+        phase)."""
+        if self.wall_seconds <= 0.0:
+            return float("nan")
+        return self.events / self.wall_seconds
+
+
+class PhaseProfiler:
+    """Samples phase boundaries around a simulator's run loop."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.timings: List[PhaseTiming] = []
+        self._open: Optional[Tuple[str, float, int, float]] = None
+
+    @property
+    def current_phase(self) -> Optional[str]:
+        """Name of the open phase, or None."""
+        return self._open[0] if self._open is not None else None
+
+    def begin(self, name: str) -> None:
+        """Close the open phase (if any) and start ``name``."""
+        self._close()
+        self._open = (name, time.perf_counter(), self.sim.processed,
+                      self.sim.now)
+
+    def finish(self) -> List[PhaseTiming]:
+        """Close the open phase and return all timings."""
+        self._close()
+        return self.timings
+
+    def _close(self) -> None:
+        if self._open is None:
+            return
+        name, wall_start, events_start, sim_start = self._open
+        self._open = None
+        self.timings.append(PhaseTiming(
+            name=name,
+            wall_seconds=time.perf_counter() - wall_start,
+            events=self.sim.processed - events_start,
+            sim_seconds=self.sim.now - sim_start,
+            sim_end=self.sim.now,
+        ))

@@ -1,0 +1,521 @@
+"""The trace bus: capture, ring buffer, and JSONL sink.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  No component calls into this module
+   unless a tracer is installed: the hot dispatch path is *replaced*
+   (``StorageController._execute`` is deliberately late-bound for
+   exactly this purpose — the OpLog in :mod:`repro.sim.tracing` set
+   the precedent), and every cold emission site guards with a single
+   ``self._trace is not None`` check against a class attribute that
+   defaults to ``None``.
+
+2. **Low overhead when on.**  Per-op capture appends *scalars* to a
+   flat list via one ``list.extend`` call.  Retaining tuples or op
+   objects would keep GC-tracked objects alive in the buffer: the
+   cyclic collector rescans that ever-growing live set and the
+   simulation rate drops 15-40% (measured — retaining the completion
+   heap entries themselves, a zero-allocation capture on paper, lost
+   42%).  Floats, ints and interned strings are never GC-tracked, and
+   the transient argument tuple nets zero allocation-counter
+   pressure.  Field decoding (kind names, phases) is deferred to
+   :meth:`events` materialization, off the hot path.  The measured
+   enabled-tracing overhead lives in ``BENCH_PR5.json``.
+
+3. **Determinism.**  Capture never reads the wall clock and never
+   perturbs simulation state; a traced run produces byte-identical
+   results to an untraced one (asserted in
+   ``tests/test_observability.py``).
+
+Phase attribution: hot records are not stamped with the current phase
+(that costs a subscript and a slot per record); instead
+:meth:`begin_phase` logs a ``(sim-time, name)`` transition and
+materialization derives each record's phase from its *issue* time —
+the latest transition at or before it.  An op that issues in one phase
+and completes in the next is attributed entirely to the issuing phase,
+matching stamped semantics.  The one caveat: events issued at the
+exact simulation time of a later ``begin_phase`` call are attributed
+to the new phase.  The experiment runner is safe — a run-to-exhaustion
+warmup cannot issue an op at its own final timestamp (the completion
+would still be queued) — but callers flipping phases mid-run should
+advance simulated time first.  Cold events are rare enough to stamp
+eagerly, so they are exact regardless.
+
+Typical use::
+
+    tracer = Tracer()
+    result = run_workload(ftl_name="flexFTL", streams=streams,
+                          tracer=tracer)
+    tracer.write_jsonl("run.jsonl")   # then: repro trace summary
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+from bisect import bisect_right
+from heapq import heappush
+from math import inf
+from typing import Dict, List, Optional
+
+from repro.observability import events as ev
+from repro.observability.events import OP_KIND_NAMES, TraceEvent
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import PhaseProfiler
+from repro.sim.ops import OpKind
+
+_PROGRAM = OpKind.PROGRAM
+_READ = OpKind.READ
+
+#: Fields per flat op record: (t_issue, t_done, chip, kind_code, tag,
+#: block, page, lpn) — phase is derived at materialization.
+_OP_WIDTH = 8
+#: Fields per flat allocation record: (t, chip, block, page, ptype,
+#: u_pages, q).
+_ALLOC_WIDTH = 7
+#: How many records past capacity the ring may grow before an
+#: amortized trim (one ``len`` comparison per op instead of an exact
+#: per-op trim).
+_TRIM_SLACK = 1024
+
+#: Warm-record decode table: code -> (event kind, data field names).
+#: Warm records are flat ``(code, t, *data)`` captures for emission
+#: sites that are too frequent for :meth:`Tracer.event`'s kwargs/dict
+#: construction (a parity backup runs for ~a third of host pages in
+#: flexFTL) but too rare for a dedicated hot-path closure.
+_WARM_WIDTH = 7
+_WARM_KINDS = (
+    (ev.PARITY_WRITE, ("chip", "owner", "block", "page", "cycled")),
+)
+
+
+class Tracer:
+    """Captures trace events from an instrumented storage system.
+
+    Args:
+        capacity: maximum retained *op* records (issue/complete pairs
+            count as one).  ``None`` (the default) retains everything;
+            with a capacity the buffer acts as a ring — the oldest
+            records are trimmed in chunks and counted in
+            :attr:`dropped_ops`.  Cold events (GC, faults, QoS, ...)
+            are never trimmed; they are orders of magnitude rarer.
+        enabled: the single on/off guard.  A disabled tracer's
+            :meth:`install` is a no-op, leaving the system completely
+            uninstrumented.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 enabled: bool = True) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped_ops = 0
+        self.metrics = MetricsRegistry()
+        self.meta: Dict[str, object] = {}
+        #: flat scalar buffers (see the module docstring for why)
+        self._op_raw: List[object] = []
+        self._alloc_raw: List[object] = []
+        self._warm_raw: List[object] = []
+        self._cold: List[TraceEvent] = []
+        #: one-slot cell cold emission reads the current phase from
+        self._phase_cell: List[str] = ["run"]
+        #: phase transitions, parallel (times, names), for hot records
+        self._phase_times: List[float] = []
+        self._phase_names: List[str] = []
+        self.profiler: Optional[PhaseProfiler] = None
+        self._sim = None
+        self._controller = None
+        self._installed = False
+        self._saved_execute: Optional[object] = None
+        self._had_saved_execute = False
+        self._saved_hook: Optional[object] = None
+        self._had_saved_hook = False
+        self._saved_gc_threshold: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # install / detach
+
+    def install(self, controller, qos_host=None) -> "Tracer":
+        """Arm tracing on a controller (and optionally a QoS host).
+
+        Replaces ``controller._execute`` with a traced copy, chains
+        into the FTL's ``_after_host_program`` hook, and plants
+        ``_trace``/``_metrics`` references on the controller, the FTL
+        and (when given) the QoS host so their cold paths emit.  A
+        disabled tracer installs nothing.
+        """
+        if not self.enabled:
+            return self
+        if self._installed:
+            raise RuntimeError("tracer is already installed")
+        self._installed = True
+        self._controller = controller
+        self._sim = controller.sim
+        # While armed, relax the cyclic collector.  Capture allocates
+        # one transient tracked tuple per record and grows the flat
+        # buffers to hundreds of thousands of scalars that generation-2
+        # collections re-traverse for zero reclaim (everything retained
+        # is acyclic, freed by refcount).  Measured on fig8_write:
+        # default thresholds roughly double the tracing overhead.
+        # detach() restores the exact prior thresholds.
+        self._saved_gc_threshold = gc.get_threshold()
+        gc.set_threshold(200_000, 50, 25)
+        ftl = controller.ftl
+        self.profiler = PhaseProfiler(controller.sim)
+
+        geometry = controller.geometry
+        self.meta = {
+            "ftl": ftl.name,
+            "channels": geometry.channels,
+            "chips_per_channel": geometry.chips_per_channel,
+            "blocks_per_chip": geometry.blocks_per_chip,
+            "pages_per_block": geometry.pages_per_block,
+            "page_size": geometry.page_size,
+            "buffer_capacity": controller.write_buffer.capacity,
+            "wordlines_per_block": ftl.wordlines,
+        }
+
+        # _execute is an instance attribute only if something (a test,
+        # the OpLog) already patched it; remember either way so detach
+        # can restore the exact prior state.
+        self._had_saved_execute = "_execute" in controller.__dict__
+        self._saved_execute = controller.__dict__.get("_execute")
+        controller._execute = self._make_traced_execute(controller)
+
+        # Chain the allocation hook.  _after_host_program may be a
+        # class-level method (rtfFTL/parityFTL), an instance attribute
+        # (flexFTL with a predictor), or None (the default); saving
+        # the *instance* state lets detach restore all three.
+        self._had_saved_hook = "_after_host_program" in ftl.__dict__
+        self._saved_hook = ftl.__dict__.get("_after_host_program")
+        ftl._after_host_program = self._make_alloc_hook(ftl)
+
+        controller._trace = self
+        controller._metrics = self.metrics
+        ftl._trace = self
+        ftl._metrics = self.metrics
+        # Pre-resolved per-chip counters for the parity warm path: the
+        # label-memoization lookup in MetricsRegistry.counter is too
+        # slow to run ~once per three host pages.
+        ftl._parity_counters = tuple(
+            self.metrics.counter("parity.writes", chip=chip)
+            for chip in range(len(ftl.chips)))
+        if qos_host is not None:
+            self.attach_qos(qos_host)
+        return self
+
+    def attach_qos(self, qos_host) -> None:
+        """Arm QoS admit/arbitrate tracing on a multi-tenant host."""
+        if not self.enabled:
+            return
+        qos_host._trace = self
+        qos_host._metrics = self.metrics
+
+    def detach(self) -> None:
+        """Disarm tracing, restoring the exact pre-install state."""
+        if not self._installed:
+            return
+        controller = self._controller
+        ftl = controller.ftl
+        if self._had_saved_execute:
+            controller._execute = self._saved_execute
+        else:
+            del controller.__dict__["_execute"]
+        if self._had_saved_hook:
+            ftl._after_host_program = self._saved_hook
+        else:
+            del ftl.__dict__["_after_host_program"]
+        for component in (controller, ftl):
+            component._trace = None
+            component._metrics = None
+        ftl._parity_counters = None
+        if self._saved_gc_threshold is not None:
+            gc.set_threshold(*self._saved_gc_threshold)
+            self._saved_gc_threshold = None
+        self._installed = False
+        self._controller = None
+
+    # ------------------------------------------------------------------
+    # phases
+
+    @property
+    def phase(self) -> str:
+        """The phase stamped on events emitted now."""
+        return self._phase_cell[0]
+
+    def begin_phase(self, name: str) -> None:
+        """Start a profiling phase; subsequent events carry ``name``."""
+        self._phase_cell[0] = name
+        self._phase_times.append(
+            self._sim.now if self._sim is not None else 0.0)
+        self._phase_names.append(name)
+        if self.profiler is not None:
+            self.profiler.begin(name)
+
+    def _phase_at(self, time: float) -> str:
+        """The phase in effect at ``time`` (see the module docstring
+        for the same-timestamp attribution rule)."""
+        index = bisect_right(self._phase_times, time)
+        return self._phase_names[index - 1] if index else "run"
+
+    def finish(self) -> None:
+        """Close the open phase and emit ``profile.phase`` events."""
+        if self.profiler is None:
+            return
+        for timing in self.profiler.finish():
+            self._cold.append(TraceEvent(ev.PROFILE_PHASE, timing.sim_end, {
+                "name": timing.name,
+                "wall_seconds": timing.wall_seconds,
+                "events": timing.events,
+                "sim_seconds": timing.sim_seconds,
+                "phase": timing.name,
+            }))
+        self.profiler.timings.clear()
+
+    # ------------------------------------------------------------------
+    # cold-path emission (components call this behind `_trace is not
+    # None` checks; never on a per-op hot path)
+
+    def event(self, kind: str, /, **fields: object) -> None:
+        """Emit one cold event at the current simulation time.
+
+        ``kind`` is positional-only: some schemas (``qos.admit``)
+        carry a field that is itself named ``kind``.
+        """
+        fields["phase"] = self._phase_cell[0]
+        self._cold.append(TraceEvent(kind, self._sim.now, fields))
+
+    def warm_parity(self, chip: int, owner: int, block: int,
+                    page: int, cycled: int) -> None:
+        """Flat-capture one ``parity.write`` (see ``_WARM_KINDS``)."""
+        self._warm_raw.extend((0, self._sim.now, chip, owner, block,
+                               page, cycled))
+
+    # ------------------------------------------------------------------
+    # hot-path capture machinery
+
+    def _make_traced_execute(self, controller):
+        """A traced copy of ``StorageController._execute``.
+
+        The body below is the PR-2 fast path *verbatim* (keep in sync
+        with :meth:`repro.sim.controller.StorageController._execute`)
+        plus one ``list.extend`` of eight scalars per op.  It is a
+        copy, not a wrapper: wrapping would add a Python frame per op,
+        which alone busts the overhead budget.  ``done`` is computed
+        term-for-term as the original's ``now + total``: a
+        re-associated sum can differ in the last ulp, and event times
+        must be bit-identical to the untraced run's.  ``_busy``/
+        ``_idle``/``_channel_free`` are read through the controller on
+        every call because ``reset_after_power_loss`` rebinds them.
+        """
+        sim = controller.sim
+        chips_per_channel = controller._chips_per_channel
+        t_transfer = controller._t_transfer
+        array_program = controller._array_program
+        array_read = controller._array_read
+        array_erase = controller._array_erase
+        # never rebound after construction: safe to hoist
+        on_op_done = controller._on_op_done
+        in_flight = controller.in_flight
+        raw = self._op_raw
+        raw_extend = raw.extend
+        capacity = self.capacity
+        # `len(raw) >= limit` is one comparison whether or not a ring
+        # is configured: an unbounded buffer compares against infinity.
+        limit = inf if capacity is None \
+            else (capacity + _TRIM_SLACK) * _OP_WIDTH
+        keep = None if capacity is None else capacity * _OP_WIDTH
+        tracer = self
+
+        def _traced_execute(chip_id, op, read_request):
+            now = sim.now
+            kind = op.kind
+            addr = op.addr
+            if kind is _PROGRAM:
+                channel = chip_id // chips_per_channel
+                channel_free = controller._channel_free
+                start = channel_free[channel]
+                if start < now:
+                    start = now
+                channel_free[channel] = start + t_transfer
+                latency = array_program(addr, op.data)
+                done = now + ((start - now) + t_transfer + latency)
+                code = 0
+            elif kind is _READ:
+                channel = chip_id // chips_per_channel
+                channel_free = controller._channel_free
+                start = channel_free[channel]
+                if start < now:
+                    start = now
+                channel_free[channel] = start + t_transfer
+                _, latency = array_read(addr)
+                done = now + ((start - now) + t_transfer + latency)
+                code = 1
+            else:
+                done = now + array_erase(addr[0], addr[1], addr[2])
+                code = 2
+            lpn = op.lpn
+            raw_extend((now, done, chip_id, code, op.tag, addr[2],
+                        addr[3], -1 if lpn is None else lpn))
+            if len(raw) >= limit:
+                drop = len(raw) - keep
+                tracer.dropped_ops += drop // _OP_WIDTH
+                del raw[:drop]
+            controller._busy[chip_id] = True
+            controller._idle.remove(chip_id)
+            in_flight[chip_id] = op
+            heappush(sim._queue,
+                     [done, 0, next(sim._seq), on_op_done,
+                      (chip_id, op, read_request), False, sim._cancelled])
+
+        return _traced_execute
+
+    def _make_alloc_hook(self, ftl):
+        """The chained ``_after_host_program`` hook capturing one
+        allocation-decision record per placed host page.
+
+        ``u_pages`` is sampled *after* the placed page left the write
+        buffer (the decision saw ``u_pages + 1``) and ``q`` after the
+        quota debit/credit — both are the post-placement state, which
+        is what the next decision will see.
+        """
+        buffer = ftl.write_buffer
+        quota = getattr(ftl, "quota", None)
+        prev = ftl._after_host_program  # bound method, attr, or None
+        raw_extend = self._alloc_raw.extend
+
+        if quota is None:
+            def _alloc_hook(chip_id, addr, ptype, now):
+                raw_extend((now, chip_id, addr[2], addr[3],
+                            1 if ptype else 0, buffer._live, -1))
+                if prev is not None:
+                    prev(chip_id, addr, ptype, now)
+        else:
+            def _alloc_hook(chip_id, addr, ptype, now):
+                raw_extend((now, chip_id, addr[2], addr[3],
+                            1 if ptype else 0, buffer._live,
+                            quota.value))
+                if prev is not None:
+                    prev(chip_id, addr, ptype, now)
+
+        return _alloc_hook
+
+    # ------------------------------------------------------------------
+    # buffer introspection
+
+    def _trim(self) -> None:
+        """Enforce the ring capacity exactly.
+
+        The hot path trims lazily (every ``_TRIM_SLACK`` records), so
+        the buffer may briefly exceed ``capacity`` mid-run; every
+        observation point (:attr:`op_count`, :meth:`events`) settles
+        the debt first.
+        """
+        capacity = self.capacity
+        raw = self._op_raw
+        if capacity is not None and len(raw) > capacity * _OP_WIDTH:
+            drop = len(raw) - capacity * _OP_WIDTH
+            self.dropped_ops += drop // _OP_WIDTH
+            del raw[:drop]
+
+    @property
+    def op_count(self) -> int:
+        """Op records currently retained (excludes dropped ones)."""
+        self._trim()
+        return len(self._op_raw) // _OP_WIDTH
+
+    @property
+    def alloc_count(self) -> int:
+        """Allocation-decision records captured."""
+        return len(self._alloc_raw) // _ALLOC_WIDTH
+
+    def clear(self) -> None:
+        """Drop all captured records (installation stays armed)."""
+        self._op_raw.clear()
+        self._alloc_raw.clear()
+        self._warm_raw.clear()
+        self._cold.clear()
+        self.dropped_ops = 0
+
+    # ------------------------------------------------------------------
+    # materialization
+
+    def events(self) -> List[TraceEvent]:
+        """All captured records as :class:`TraceEvent`, time-ordered.
+
+        Each op record expands into an ``op.issue`` and an
+        ``op.complete`` event (both attributed to the phase in effect
+        at *issue* time); the sort is stable, so simultaneous events
+        keep a deterministic order (ops, then allocation decisions,
+        then cold events).
+        """
+        self._trim()
+        out: List[TraceEvent] = []
+        phase_at = self._phase_at
+        raw = self._op_raw
+        for i in range(0, len(raw), _OP_WIDTH):
+            (t_issue, t_done, chip, code, tag, block, page,
+             lpn) = raw[i:i + _OP_WIDTH]
+            kind = OP_KIND_NAMES[code]
+            phase = phase_at(t_issue)
+            out.append(TraceEvent(ev.OP_ISSUE, t_issue, {
+                "chip": chip, "kind": kind, "tag": tag, "block": block,
+                "page": page, "lpn": lpn, "t_done": t_done,
+                "phase": phase,
+            }))
+            out.append(TraceEvent(ev.OP_COMPLETE, t_done, {
+                "chip": chip, "kind": kind, "tag": tag, "block": block,
+                "page": page, "lpn": lpn, "t_issue": t_issue,
+                "phase": phase,
+            }))
+        araw = self._alloc_raw
+        for i in range(0, len(araw), _ALLOC_WIDTH):
+            (t, chip, block, page, ptype, live,
+             q) = araw[i:i + _ALLOC_WIDTH]
+            out.append(TraceEvent(ev.ALLOC_DECISION, t, {
+                "chip": chip, "block": block, "page": page,
+                "ptype": ptype, "u_pages": live, "q": q,
+                "phase": phase_at(t),
+            }))
+        wraw = self._warm_raw
+        for i in range(0, len(wraw), _WARM_WIDTH):
+            record = wraw[i:i + _WARM_WIDTH]
+            kind, names = _WARM_KINDS[record[0]]
+            t = record[1]
+            fields = dict(zip(names, record[2:]))
+            fields["phase"] = phase_at(t)
+            out.append(TraceEvent(kind, t, fields))
+        out.extend(self._cold)
+        out.sort(key=lambda event: event.time)
+        return out
+
+    # ------------------------------------------------------------------
+    # sinks
+
+    def meta_line(self) -> Dict[str, object]:
+        """The ``trace.meta`` header record."""
+        data: Dict[str, object] = {
+            "ev": "trace.meta",
+            "schema": ev.SCHEMA_VERSION,
+            "dropped_ops": self.dropped_ops,
+        }
+        data.update(self.meta)
+        return data
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the trace as JSONL (meta header + one event per
+        line); returns the number of event lines written."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.meta_line(),
+                                    separators=(",", ":")) + "\n")
+            for event in events:
+                handle.write(event.to_json_line() + "\n")
+        return len(events)
+
+    def __repr__(self) -> str:
+        state = "installed" if self._installed else "idle"
+        return (f"Tracer({state}, ops={self.op_count}, "
+                f"allocs={self.alloc_count}, cold={len(self._cold)}, "
+                f"dropped={self.dropped_ops})")

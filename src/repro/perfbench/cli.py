@@ -18,6 +18,7 @@ from repro.perfbench.harness import (
     WORKLOADS,
     PerfbenchResult,
     run_perfbench,
+    run_trace_overhead,
 )
 
 #: ``--quick`` op-count multiplier: a CI-sized smoke run.
@@ -52,13 +53,38 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
         "--output", default=None, metavar="PATH",
         help="also write the JSON report to PATH "
              "(e.g. BENCH_PR2.json)")
+    parser.add_argument(
+        "--trace-overhead", action="store_true",
+        help="measure enabled-tracing overhead instead of raw "
+             "throughput: alternating untraced/traced rounds of one "
+             "workload, median rates compared (see --overhead-budget)")
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="untraced/traced round pairs for --trace-overhead "
+             "(default 5)")
+    parser.add_argument(
+        "--overhead-budget", type=float, default=3.0, metavar="PCT",
+        help="maximum acceptable tracing overhead percent for "
+             "--trace-overhead (default 3.0)")
 
 
-def _cli_run(args: argparse.Namespace,
-             engine_options: EngineOptions) -> PerfbenchResult:
+def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
     del engine_options  # serial by design; see module docstring
     workloads = args.workloads.split(",") if args.workloads else None
     scale = QUICK_SCALE if args.quick else args.scale
+    if args.trace_overhead:
+        workload = workloads[0] if workloads else "fig8_write"
+        try:
+            return run_trace_overhead(
+                workload=workload,
+                scale=scale,
+                seed=args.seed,
+                rounds=args.rounds,
+                budget_pct=args.overhead_budget,
+                output_path=args.output,
+            )
+        except (KeyError, ValueError) as error:
+            raise registry.CliError(str(error.args[0])) from error
     try:
         return run_perfbench(
             workloads=workloads,
@@ -73,12 +99,15 @@ def _cli_run(args: argparse.Namespace,
         raise registry.CliError(str(error.args[0])) from error
 
 
+# Render/to_dict are duck-typed: _cli_run returns a PerfbenchResult or
+# (with --trace-overhead) a TraceOverheadResult; both carry render(),
+# to_dict() and passed().
 registry.register(registry.Experiment(
     name="perfbench",
     help="core throughput benchmark (events/sec, host-ops/sec)",
     add_arguments=_cli_arguments,
     run=_cli_run,
-    render=PerfbenchResult.render,
-    to_dict=PerfbenchResult.to_dict,
+    render=lambda result: result.render(),
+    to_dict=lambda result: result.to_dict(),
     exit_code=lambda result: 0 if result.passed() else 1,
 ))

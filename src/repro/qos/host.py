@@ -87,6 +87,10 @@ class TenantSpec:
 class MultiTenantHost:
     """Multiplexes per-tenant closed-loop workloads through QoS queues.
 
+    A :class:`~repro.observability.tracer.Tracer` attached via
+    ``attach_qos`` plants ``_trace`` (class default ``None``) to record
+    admissions and arbitration decisions.
+
     Args:
         sim: simulation kernel.
         controller: device front door.
@@ -155,6 +159,10 @@ class MultiTenantHost:
         self._wake_at: Optional[float] = None
         self._started = False
 
+    #: observability hooks, planted by ``Tracer.attach_qos``
+    _trace = None
+    _metrics = None
+
     # ------------------------------------------------------------------
     # lifecycle
 
@@ -203,6 +211,14 @@ class MultiTenantHost:
             think=op.think_after: self._on_done(t, s, think)
         self.queues[t_index].push(request, self._seq, now)
         self._seq += 1
+        if self._trace is not None:
+            self._trace.event("qos.admit", tenant=spec.name,
+                              kind=op.kind.value, lpn=op.lpn,
+                              npages=op.npages,
+                              depth=len(self.queues[t_index]))
+        if self._metrics is not None:
+            self._metrics.counter("qos.admitted",
+                                  tenant=spec.name).inc()
         self._pump()
 
     def _on_done(self, t_index: int, s_index: int,
@@ -253,6 +269,17 @@ class MultiTenantHost:
                 index = self.arbiter.select(self.queues, eligible)
                 assert index is not None  # some queue was eligible
                 queue = self.queues[index]
+                if self._trace is not None:
+                    self._trace.event("qos.arbitrate",
+                                      tenant=queue.tenant,
+                                      depth=len(queue),
+                                      issued=self._issued)
+                if self._metrics is not None:
+                    self._metrics.counter("qos.dispatched",
+                                          tenant=queue.tenant).inc()
+                    self._metrics.histogram(
+                        "qos.dispatch_depth",
+                        tenant=queue.tenant).observe(len(queue))
                 command = queue.pop(now)
                 if queue.is_empty:
                     self.arbiter.note_empty(index)

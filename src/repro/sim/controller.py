@@ -41,6 +41,16 @@ _new = object.__new__
 class StorageController:
     """Dispatches FTL-produced flash operations onto timed chips."""
 
+    #: Observability hooks (:mod:`repro.observability`): a tracer and a
+    #: metrics registry, installed together by ``Tracer.install``.
+    #: Class-level None defaults keep untraced runs paying nothing on
+    #: hot paths and one ``is None`` check on the cold fault paths.
+    #: Tracing also replaces :meth:`_execute` with a traced copy (an
+    #: instance attribute), which is why the pump keeps ``_execute``
+    #: late-bound.
+    _trace = None
+    _metrics = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -461,6 +471,14 @@ class StorageController:
         """Dispatch one injected fault.  Returns True when the op's
         completion is deferred (read retry ladder in progress)."""
         kind = fault.kind
+        if self._trace is not None:
+            addr = op.addr
+            self._trace.event("fault.inject", chip=chip_id, fault=kind,
+                              tag=op.tag, block=addr.block,
+                              page=addr.page)
+        if self._metrics is not None:
+            self._metrics.counter("faults.injected", kind=kind,
+                                  chip=chip_id).inc()
         if kind == "read_fault":
             return self._begin_read_recovery(chip_id, op, read_request,
                                              fault)
@@ -547,6 +565,13 @@ class StorageController:
         elif read_request is not None \
                 and read_request.status == REQUEST_OK:
             read_request.status = REQUEST_RECOVERED
+        if self._trace is not None:
+            self._trace.event("fault.recover", chip=chip_id,
+                              fault="read_fault", outcome=resolved,
+                              pages=1)
+        if self._metrics is not None:
+            self._metrics.counter("faults.read_resolved",
+                                  outcome=resolved, chip=chip_id).inc()
         self._busy[chip_id] = False
         insort(self._idle, chip_id)
         self.in_flight.pop(chip_id, None)
@@ -562,6 +587,8 @@ class StorageController:
         faults = self.stats.faults
         if faults is not None:
             faults.degraded_mode = True
+        if self._metrics is not None:
+            self._metrics.gauge("device.read_only").set(1.0)
         while self._admissions:
             self._reject_write(self._admissions.popleft())
 
@@ -576,6 +603,10 @@ class StorageController:
         faults = self.stats.faults
         if faults is not None:
             faults.writes_rejected += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "faults.writes_rejected",
+                tenant=request.tenant or "-").inc()
         if self.completion_hook is not None:
             self.completion_hook(request, now)
         if request.on_complete is not None:

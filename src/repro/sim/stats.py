@@ -13,6 +13,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sim.queues import Request, RequestKind
 
+if False:  # typing-only import; keeps the sim core free of
+    # observability dependencies at runtime
+    from repro.observability.metrics import MetricsRegistry
+
 
 class WindowedBandwidth:
     """Write bandwidth sampled over fixed time windows.
@@ -147,6 +151,9 @@ class SimStats:
     #: fault-injection counters, present only when injection was armed
     #: (None keeps fault-free serialized results byte-identical)
     faults: Optional[FaultStats] = None
+    #: labeled metrics registry, attached only when a tracer
+    #: instrumented the run (same None-keeps-the-shape contract)
+    metrics: "Optional[MetricsRegistry]" = None
 
     def __post_init__(self) -> None:
         if self.write_bandwidth is None:
@@ -186,8 +193,11 @@ class SimStats:
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe snapshot, invertible via :meth:`from_dict`.
 
-        The ``faults`` key appears only when fault counters exist, so
-        fault-free snapshots keep their historical shape.
+        The ``faults`` and ``metrics`` keys appear only when their
+        objects exist, so plain snapshots keep their historical shape
+        — and the round trip is lossless: an absent key restores
+        ``None``, a present all-zero ``faults`` restores an (attached)
+        zeroed :class:`FaultStats`, never the other way around.
         """
         data: Dict[str, object] = {
             "page_size": self.page_size,
@@ -205,6 +215,8 @@ class SimStats:
         }
         if self.faults is not None:
             data["faults"] = self.faults.to_dict()
+        if self.metrics is not None:
+            data["metrics"] = self.metrics.to_dict()
         return data
 
     @classmethod
@@ -225,9 +237,17 @@ class SimStats:
         )
         stats.write_bandwidth = WindowedBandwidth.from_dict(
             data["write_bandwidth"])  # type: ignore[arg-type]
+        # An absent key and an explicit null both mean "not attached";
+        # any dict — including all zeros — restores an attached object,
+        # preserving the faults=None vs faults=FaultStats() distinction.
         faults = data.get("faults")
         if faults is not None:
             stats.faults = FaultStats.from_dict(faults)  # type: ignore[arg-type]
+        metrics = data.get("metrics")
+        if metrics is not None:
+            from repro.observability.metrics import MetricsRegistry
+
+            stats.metrics = MetricsRegistry.from_dict(metrics)  # type: ignore[arg-type]
         return stats
 
     # ------------------------------------------------------------------

@@ -1,4 +1,6 @@
-"""Shared system builders for the test suite."""
+"""Shared system builders and seeded generators for the test suite."""
+
+import random
 
 from repro.core.flexftl import FlexFtl
 from repro.ftl.base import FtlConfig
@@ -21,6 +23,58 @@ FTL_SCHEMES = {
     RtfFtl: SequenceScheme.FPS,
     FlexFtl: SequenceScheme.RPS,
 }
+
+
+def random_page_walk(seed, wordlines, steps):
+    """Seeded stream of arbitrary ``(wordline, ptype)`` candidates.
+
+    Deliberately scheme-ignorant: roughly half the candidates violate
+    an ordering constraint or re-target a programmed page, which is
+    exactly what a differential legality test wants to see.
+    """
+    from repro.nand.page_types import PageType
+
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(wordlines),
+         PageType.MSB if rng.random() < 0.5 else PageType.LSB)
+        for _ in range(steps)
+    ]
+
+
+def random_legal_order(seed, wordlines, scheme):
+    """A full in-block program order legal under ``scheme``.
+
+    Built constraint-first: at every step one candidate is drawn
+    uniformly from the pages :func:`constraint_violations` currently
+    permits, so the result exercises the *whole* legal order space of
+    the scheme, not just the canonical zig-zag.
+    """
+    from repro.nand.page_types import PageType
+    from repro.nand.sequence import constraint_violations
+
+    rng = random.Random(seed)
+    programmed = set()
+
+    def is_programmed(wordline, ptype):
+        return (wordline, ptype) in programmed
+
+    order = []
+    total = 2 * wordlines
+    while len(order) < total:
+        candidates = [
+            (wordline, ptype)
+            for wordline in range(wordlines)
+            for ptype in (PageType.LSB, PageType.MSB)
+            if (wordline, ptype) not in programmed
+            and not constraint_violations(
+                is_programmed, wordlines, wordline, ptype, scheme)
+        ]
+        assert candidates, f"scheme {scheme} wedged after {order}"
+        choice = rng.choice(candidates)
+        programmed.add(choice)
+        order.append(choice)
+    return order
 
 
 def build_small_system(ftl_cls, geometry, buffer_pages=32,

@@ -1,0 +1,138 @@
+"""Property-based legality tests for the relaxed program sequence.
+
+Two properties, both against :func:`constraint_violations` as the
+oracle and :meth:`NandArray.program` as the implementation under test
+(its legality check is hand-inlined for speed, so drift between the
+two is a real hazard):
+
+* **Differential**: over seeded-random walks of arbitrary candidate
+  programs, the array accepts exactly the candidates the oracle
+  permits — i.e. every sequence ``NandArray.program`` accepts
+  satisfies the three retained RPS constraints, and it never rejects
+  a legal one.  The same walk is run under FPS and NONE, covering the
+  fourth constraint and the unconstrained fast path.
+* **Inclusion**: every FPS-legal order is RPS-legal (the paper's
+  claim that RPS strictly relaxes FPS) — random full FPS orders
+  replay on an RPS device without a single rejection.
+
+Each property runs hundreds of seeded cases; the generators live in
+``tests/helpers.py``.
+"""
+
+import pytest
+
+from repro.nand.array import NandArray
+from repro.nand.errors import PageStateError, ProgramSequenceError
+from repro.nand.geometry import NandGeometry, PhysicalPageAddress
+from repro.nand.page_types import PageType
+from repro.nand.sequence import SequenceScheme, constraint_violations
+
+from tests.helpers import random_legal_order, random_page_walk
+
+GEOMETRY = NandGeometry(channels=1, chips_per_channel=1,
+                        blocks_per_chip=2, pages_per_block=16,
+                        page_size=512)
+WORDLINES = GEOMETRY.pages_per_block // 2
+
+DIFFERENTIAL_SEEDS = range(100)
+INCLUSION_SEEDS = range(100, 220)
+
+
+def page_of(wordline, ptype):
+    return 2 * wordline + (1 if ptype is PageType.MSB else 0)
+
+
+@pytest.mark.parametrize("scheme", [SequenceScheme.RPS,
+                                    SequenceScheme.FPS,
+                                    SequenceScheme.NONE])
+@pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+def test_program_accepts_exactly_oracle_legal(scheme, seed):
+    array = NandArray(GEOMETRY, scheme=scheme, track_history=False)
+    # two blocks interleaved: in-block constraints must not couple
+    walks = {
+        block: random_page_walk(seed * 2 + block, WORDLINES, 40)
+        for block in range(GEOMETRY.blocks_per_chip)
+    }
+    programmed = {block: set() for block in walks}
+    accepted = 0
+    for step in range(40):
+        for block, walk in walks.items():
+            wordline, ptype = walk[step]
+
+            def is_programmed(wl, pt, _block=block):
+                return (wl, pt) in programmed[_block]
+
+            violations = constraint_violations(
+                is_programmed, WORDLINES, wordline, ptype, scheme)
+            already = (wordline, ptype) in programmed[block]
+            addr = PhysicalPageAddress(0, 0, block,
+                                       page_of(wordline, ptype))
+            if violations:
+                with pytest.raises(ProgramSequenceError) as err:
+                    array.program(addr)
+                assert violations[0].split(":")[0] in str(err.value)
+            elif already:
+                with pytest.raises(PageStateError):
+                    array.program(addr)
+            else:
+                latency = array.program(addr)
+                assert latency > 0
+                programmed[block].add((wordline, ptype))
+                accepted += 1
+            # the device's own notion of state must track the model's
+            assert array.is_programmed(addr) == (
+                (wordline, ptype) in programmed[block])
+    assert accepted == array.total_programs
+
+
+@pytest.mark.parametrize("seed", INCLUSION_SEEDS)
+def test_every_fps_legal_order_is_rps_legal(seed):
+    order = random_legal_order(seed, WORDLINES, SequenceScheme.FPS)
+    assert len(order) == GEOMETRY.pages_per_block
+
+    # oracle-level inclusion: replaying the FPS order step by step
+    # never violates the three RPS constraints...
+    programmed = set()
+    for wordline, ptype in order:
+        assert constraint_violations(
+            lambda wl, pt: (wl, pt) in programmed, WORDLINES,
+            wordline, ptype, SequenceScheme.RPS) == []
+        programmed.add((wordline, ptype))
+
+    # ... and device-level: an RPS device accepts the whole order
+    array = NandArray(GEOMETRY, scheme=SequenceScheme.RPS,
+                      track_history=False)
+    for wordline, ptype in order:
+        array.program(PhysicalPageAddress(0, 0, 0,
+                                          page_of(wordline, ptype)))
+    assert array.total_programs == GEOMETRY.pages_per_block
+    assert array.lsb_programs == array.msb_programs == WORDLINES
+
+
+@pytest.mark.parametrize("seed", range(220, 260))
+def test_rps_orders_reject_under_fps_when_constraint4_broken(seed):
+    """The inclusion is strict: random RPS orders that break
+    Constraint 4 exist and FPS devices reject them at the breaking
+    step."""
+    order = random_legal_order(seed, WORDLINES, SequenceScheme.RPS)
+    programmed = set()
+    breaking = None
+    for wordline, ptype in order:
+        if constraint_violations(
+                lambda wl, pt: (wl, pt) in programmed, WORDLINES,
+                wordline, ptype, SequenceScheme.FPS):
+            breaking = (wordline, ptype)
+            break
+        programmed.add((wordline, ptype))
+    if breaking is None:
+        return  # this seed happened to draw an FPS-legal order
+    array = NandArray(GEOMETRY, scheme=SequenceScheme.FPS,
+                      track_history=False)
+    for wordline, ptype in order:
+        addr = PhysicalPageAddress(0, 0, 0, page_of(wordline, ptype))
+        if (wordline, ptype) == breaking:
+            with pytest.raises(ProgramSequenceError,
+                               match="constraint 4"):
+                array.program(addr)
+            return
+        array.program(addr)
