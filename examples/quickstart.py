@@ -16,7 +16,7 @@ from repro.experiments import (
     run_workload,
 )
 from repro.metrics.lifetime import erasure_summary
-from repro.workloads import build_workload
+from repro.scenarios import make_preset
 
 
 def main() -> None:
@@ -29,11 +29,12 @@ def main() -> None:
           f"({geometry.capacity_bytes / 2**20:.0f} MiB raw)")
 
     span = experiment_span(config, utilization=0.7)
-    streams = build_workload("Varmail", span, total_ops=6000, seed=42)
-    print(f"workload: Varmail, {sum(len(s) for s in streams)} ops over "
-          f"{len(streams)} streams, footprint {span} pages")
+    scenario = make_preset("varmail", span, 6000, seed=42)
+    print(f"workload: {scenario.describe()}")
+    print()
+    print(scenario.phase_table())
 
-    result = run_workload(ftl_name="flexFTL", streams=streams,
+    result = run_workload(ftl_name="flexFTL", scenario=scenario,
                           config=config)
     lifetime = erasure_summary(result.counters)
     bandwidth = result.stats.write_bandwidth

@@ -24,6 +24,7 @@ from repro.nand.geometry import NandGeometry
 from repro.observability import events as ev
 from repro.observability.summary import summarize_tracer
 from repro.observability.tracer import Tracer
+from repro.scenarios import StreamScenario
 from repro.sim.host import StreamOp
 from repro.sim.queues import RequestKind
 
@@ -50,7 +51,8 @@ def main() -> None:
     tracer = Tracer()
     result = run_workload(
         ftl_name="flexFTL",
-        streams=[churny_stream(span=500)],
+        scenario=StreamScenario.from_streams(
+            [churny_stream(span=500)], name="churn"),
         config=config,
         tracer=tracer,
     )

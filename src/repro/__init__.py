@@ -23,12 +23,12 @@ Quick start::
 
     from repro.experiments import run_workload, ExperimentConfig
     from repro.experiments import experiment_span
-    from repro.workloads import build_workload
+    from repro.scenarios import make_preset
 
     config = ExperimentConfig()
     span = experiment_span(config)
-    streams = build_workload("Varmail", span, total_ops=4000)
-    result = run_workload(ftl_name="flexFTL", streams=streams,
+    scenario = make_preset("varmail", span, total_ops=4000)
+    result = run_workload(ftl_name="flexFTL", scenario=scenario,
                           config=config)
     print(result.iops, result.erases)
 """

@@ -12,20 +12,20 @@ byte-identical to serial output.
 Three properties make that safe:
 
 * **Cells are declarative.**  A cell carries everything its run needs
-  (FTL name, pre-built workload streams, configuration, seed) as plain
+  (FTL name, workload scenario spec, configuration, seed) as plain
   picklable data; nothing depends on shared mutable state or on which
   worker executes it.
 * **Results round-trip through ``to_dict``.**  Both the serial and the
   parallel path return ``decode(encode(result))``, so a cache hit, a
   pool result and an inline run are indistinguishable.
-* **Seeding is explicit.**  Workload streams embed their generation
+* **Seeding is explicit.**  Workload scenarios embed their generation
   seed; :func:`derive_seed` gives experiments a stable way to mint
   distinct per-cell seeds from a base seed and grid coordinates.
 
 Results are memoised in a content-addressed cache (default
 ``~/.cache/repro-rps/``, override with ``$REPRO_CACHE_DIR``) keyed by a
 hash of the full cell specification — geometry, timing, FTL, policy,
-workload streams and seed — plus the package version, so re-rendering a
+workload scenario and seed — plus the package version, so re-rendering a
 report after a code-free change is instant.
 """
 
@@ -57,6 +57,7 @@ from repro.experiments.runner import (
     RunResult,
     run_workload,
 )
+from repro.scenarios.base import Scenario, StreamScenario
 
 #: Bump when the serialized result layout changes; invalidates the
 #: on-disk cache.
@@ -283,14 +284,34 @@ register_executor("fault_workload", _run_fault_cell,
 
 def workload_cell(
     ftl_name: str,
-    streams: Sequence[Sequence[Any]],
+    streams: Optional[Sequence[Sequence[Any]]] = None,
     config: Optional[ExperimentConfig] = None,
     label: str = "",
+    scenario: Any = None,
     **extra: Any,
 ) -> Cell:
-    """Convenience constructor for the common ``run_workload`` cell."""
+    """Convenience constructor for the common ``run_workload`` cell.
+
+    Takes exactly one workload source: legacy pre-built ``streams``
+    (wrapped into a :class:`~repro.scenarios.base.StreamScenario`) or
+    a ``scenario`` (a :class:`~repro.scenarios.base.Scenario` or its
+    spec dict).  Either way the cell carries a JSON-safe scenario
+    *spec*, so pool workers and the result cache see plain data and a
+    lazy generator scenario is regenerated inside the worker instead
+    of being shipped materialized.
+    """
+    if (streams is None) == (scenario is None):
+        raise ValueError(
+            "workload_cell() takes exactly one of streams (legacy) "
+            "or scenario")
+    if streams is not None:
+        spec = StreamScenario.from_streams(streams).spec()
+    elif isinstance(scenario, Scenario):
+        spec = scenario.spec()
+    else:
+        spec = dict(scenario)
     return Cell.make("workload", label=label or ftl_name,
-                     ftl_name=ftl_name, streams=streams,
+                     ftl_name=ftl_name, scenario=spec,
                      config=config or ExperimentConfig(), **extra)
 
 

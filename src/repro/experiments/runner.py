@@ -12,7 +12,8 @@ deltas), which is standard SSD evaluation methodology.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.flexftl import FlexFtl
 from repro.core.page_allocator import PolicyConfig
@@ -26,6 +27,16 @@ from repro.nand.array import NandArray
 from repro.nand.geometry import NandGeometry
 from repro.nand.sequence import SequenceScheme
 from repro.nand.timing import NandTiming
+from repro.scenarios.base import (
+    OPEN,
+    Scenario,
+    StreamScenario,
+    as_scenario,
+)
+from repro.scenarios.host import (
+    StreamingClosedLoopHost,
+    StreamingTraceReplayHost,
+)
 from repro.sim.controller import StorageController
 from repro.sim.host import ClosedLoopHost, StreamOp
 from repro.sim.kernel import Simulator
@@ -241,10 +252,90 @@ def experiment_span(config: Optional[ExperimentConfig] = None,
     return max(1, int(smallest * utilization))
 
 
+def coerce_scenario(streams: Optional[Sequence[Sequence[StreamOp]]],
+                    scenario: Any, caller: str,
+                    deprecate_streams: bool = False) -> Scenario:
+    """Resolve a runner's ``streams=``/``scenario=`` pair.
+
+    Exactly one of the two must be given.  ``streams`` wraps into a
+    :class:`~repro.scenarios.base.StreamScenario` (the legacy adapter,
+    byte-identical to the pre-scenario code path); ``scenario``
+    accepts a :class:`~repro.scenarios.base.Scenario` or its spec dict
+    (how engine cells carry scenarios across process boundaries).
+    """
+    if (streams is None) == (scenario is None):
+        raise TypeError(
+            f"{caller}() takes exactly one of streams= (legacy) or "
+            f"scenario=")
+    if streams is not None:
+        if deprecate_streams:
+            warnings.warn(
+                f"{caller}(streams=...) is deprecated; wrap the "
+                f"streams in repro.scenarios.StreamScenario (or use a "
+                f"WorkloadScenario/TraceScenario) and pass scenario=",
+                DeprecationWarning, stacklevel=3)
+        return StreamScenario.from_streams(streams)
+    return as_scenario(scenario)
+
+
+def warmup_device(sim: Simulator, controller: StorageController,
+                  ftl: BaseFtl, config: ExperimentConfig, *,
+                  footprint: Optional[int] = None,
+                  warmup_span: Optional[int] = None,
+                  max_events: Optional[int] = None) -> None:
+    """Precondition the device with a full sequential fill.
+
+    The shared warmup of all three measured runners (workload, QoS,
+    fault).  Fills ``warmup_span`` logical pages — defaulting to the
+    workload's ``footprint``, clamped to the FTL's logical space; an
+    unknown footprint (a foreign trace without metadata) fills the
+    whole logical space.  No-op when ``config.warmup`` is off.
+    """
+    if not config.warmup:
+        return
+    if warmup_span is None:
+        span = ftl.logical_pages if footprint is None else footprint
+        warmup_span = min(ftl.logical_pages, span)
+    fill = sequential_fill(warmup_span)
+    warmup_host = ClosedLoopHost(sim, controller, [fill])
+    warmup_host.start()
+    sim.run(max_events=max_events)
+    if isinstance(ftl, FlexFtl):
+        # The fill saturates the device and exhausts the LSB quota;
+        # the measured phase starts from the paper's initial state.
+        ftl.quota.reset()
+
+
+def begin_measured_phase(controller: StorageController, ftl: BaseFtl,
+                         config: ExperimentConfig
+                         ) -> Tuple[Dict[str, int], SimStats]:
+    """Swap in fresh statistics and snapshot the counter baseline.
+
+    Returns ``(baseline, measured_stats)``; the run's deltas are
+    ``final - baseline`` so warmup traffic never pollutes a report.
+    """
+    baseline = _snapshot(ftl)
+    measured_stats = SimStats(page_size=config.geometry.page_size,
+                              bandwidth_window=config.bandwidth_window)
+    controller.stats = measured_stats
+    return baseline, measured_stats
+
+
+def scenario_host(sim: Simulator, controller: StorageController,
+                  scenario: Scenario):
+    """The streaming host matching a scenario's delivery mode."""
+    if scenario.mode == OPEN:
+        return StreamingTraceReplayHost(sim, controller,
+                                        scenario.requests())
+    return StreamingClosedLoopHost(sim, controller,
+                                   scenario.op_streams())
+
+
 def run_workload(
     *,
     ftl_name: str,
-    streams: Sequence[Sequence[StreamOp]],
+    streams: Optional[Sequence[Sequence[StreamOp]]] = None,
+    scenario: Any = None,
     config: Optional[ExperimentConfig] = None,
     max_events: Optional[int] = None,
     warmup_span: Optional[int] = None,
@@ -259,12 +350,20 @@ def run_workload(
 
     Args:
         ftl_name: a :data:`FTL_REGISTRY` key.
-        streams: closed-loop worker streams (see
-            :func:`repro.workloads.benchmarks.build_workload`).
+        scenario: the workload — a
+            :class:`~repro.scenarios.base.Scenario` or its spec dict
+            (see :mod:`repro.scenarios`); closed-mode scenarios drive
+            synchronous worker streams, open-mode ones replay timed
+            arrivals.
+        streams: *deprecated* — legacy closed-loop stream lists;
+            wrapped into a
+            :class:`~repro.scenarios.base.StreamScenario` with a
+            :class:`DeprecationWarning`.  Mutually exclusive with
+            ``scenario``.
         config: system configuration.
         max_events: optional simulation event cap (safety backstop).
         warmup_span: logical pages to precondition (defaults to the
-            workload's footprint: the highest page any stream touches).
+            scenario's declared footprint).
         tracer: optional :class:`~repro.observability.tracer.Tracer`;
             when given (and enabled) it is installed for the whole run
             with ``warmup``/``measured`` profiling phases, its metrics
@@ -276,6 +375,8 @@ def run_workload(
         A :class:`RunResult` whose statistics and counters cover only
         the measured phase (warmup excluded).
     """
+    workload = coerce_scenario(streams, scenario, "run_workload",
+                               deprecate_streams=True)
     config = config or ExperimentConfig()
     sim, array, buffer, ftl, controller = build_system(ftl_name, config)
 
@@ -284,29 +385,15 @@ def run_workload(
         tracer.install(controller)
         tracer.begin_phase("warmup")
 
-    if config.warmup:
-        if warmup_span is None:
-            touched = [op.lpn + op.npages for stream in streams
-                       for op in stream]
-            warmup_span = min(ftl.logical_pages,
-                              max(touched) if touched else 1)
-        fill = sequential_fill(warmup_span)
-        warmup_host = ClosedLoopHost(sim, controller, [fill])
-        warmup_host.start()
-        sim.run(max_events=max_events)
-        if isinstance(ftl, FlexFtl):
-            # The fill saturates the device and exhausts the LSB quota;
-            # the measured phase starts from the paper's initial state.
-            ftl.quota.reset()
-
-    baseline = _snapshot(ftl)
-    measured_stats = SimStats(page_size=config.geometry.page_size,
-                              bandwidth_window=config.bandwidth_window)
-    controller.stats = measured_stats
+    warmup_device(sim, controller, ftl, config,
+                  footprint=workload.footprint,
+                  warmup_span=warmup_span, max_events=max_events)
+    baseline, measured_stats = begin_measured_phase(controller, ftl,
+                                                    config)
 
     if tracing:
         tracer.begin_phase("measured")
-    host = ClosedLoopHost(sim, controller, streams)
+    host = scenario_host(sim, controller, workload)
     host.start()
     sim.run(max_events=max_events)
     if tracing:

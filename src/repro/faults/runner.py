@@ -17,26 +17,29 @@ instead of inspecting a dead device.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.core.flexftl import FlexFtl
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
     _snapshot,
+    begin_measured_phase,
     build_system,
+    coerce_scenario,
+    scenario_host,
+    warmup_device,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import PowerLossRecovery, recover_after_power_loss
-from repro.sim.host import ClosedLoopHost, StreamOp
+from repro.scenarios.base import CLOSED, Scenario
+from repro.sim.host import StreamOp
 from repro.sim.powerloss import ScheduledPowerLoss
-from repro.sim.stats import SimStats
-from repro.workloads.synthetic import sequential_fill
 
 
-def _warmed_system(ftl_name: str, streams, config, max_events,
-                   warmup_span, plan: Optional[FaultPlan]):
+def _warmed_system(ftl_name: str, scenario: Scenario, config,
+                   max_events, warmup_span,
+                   plan: Optional[FaultPlan]):
     """Build + precondition a system, returning it ready to measure."""
     config = config or ExperimentConfig()
     sim, array, buffer, ftl, controller = build_system(ftl_name, config)
@@ -45,23 +48,11 @@ def _warmed_system(ftl_name: str, streams, config, max_events,
         for chip, block in plan.factory_bad:
             ftl.mark_factory_bad(chip, block)
 
-    if config.warmup:
-        if warmup_span is None:
-            touched = [op.lpn + op.npages for stream in streams
-                       for op in stream]
-            warmup_span = min(ftl.logical_pages,
-                              max(touched) if touched else 1)
-        fill = sequential_fill(warmup_span)
-        warmup_host = ClosedLoopHost(sim, controller, [fill])
-        warmup_host.start()
-        sim.run(max_events=max_events)
-        if isinstance(ftl, FlexFtl):
-            ftl.quota.reset()
-
-    baseline = _snapshot(ftl)
-    measured_stats = SimStats(page_size=config.geometry.page_size,
-                              bandwidth_window=config.bandwidth_window)
-    controller.stats = measured_stats
+    warmup_device(sim, controller, ftl, config,
+                  footprint=scenario.footprint,
+                  warmup_span=warmup_span, max_events=max_events)
+    baseline, measured_stats = begin_measured_phase(controller, ftl,
+                                                    config)
     controller.ensure_fault_stats()
     ftl.fault_stats = measured_stats.faults
     if ftl.degraded and not controller.read_only:
@@ -85,7 +76,8 @@ def _finish(ftl_name, sim, ftl, baseline, measured_stats) -> RunResult:
 def run_fault_workload(
     *,
     ftl_name: str,
-    streams: Sequence[Sequence[StreamOp]],
+    streams: Optional[Sequence[Sequence[StreamOp]]] = None,
+    scenario: Any = None,
     plan: FaultPlan,
     config: Optional[ExperimentConfig] = None,
     max_events: Optional[int] = None,
@@ -93,20 +85,25 @@ def run_fault_workload(
 ) -> RunResult:
     """Precondition fault-free, then run one workload under ``plan``.
 
+    The workload comes from ``scenario`` (a
+    :class:`~repro.scenarios.base.Scenario` or spec dict) or legacy
+    ``streams`` — exactly one of the two.
+
     The returned :class:`~repro.experiments.runner.RunResult` carries
     the measured phase's :class:`~repro.sim.stats.FaultStats` in
     ``stats.faults`` (always attached, even for a plan that injects
     nothing — a campaign's zero-rate baseline reports zeros, not
     None).
     """
+    workload = coerce_scenario(streams, scenario, "run_fault_workload")
     sim, ftl, controller, config, baseline, measured_stats = \
-        _warmed_system(ftl_name, streams, config, max_events,
+        _warmed_system(ftl_name, workload, config, max_events,
                        warmup_span, plan)
     if plan.enabled:
         controller.attach_fault_injector(
             FaultInjector(plan, page_size=config.geometry.page_size))
 
-    host = ClosedLoopHost(sim, controller, streams)
+    host = scenario_host(sim, controller, workload)
     host.start()
     sim.run(max_events=max_events)
     return _finish(ftl_name, sim, ftl, baseline, measured_stats)
@@ -115,7 +112,8 @@ def run_fault_workload(
 def run_powerloss_resume(
     *,
     ftl_name: str,
-    streams: Sequence[Sequence[StreamOp]],
+    streams: Optional[Sequence[Sequence[StreamOp]]] = None,
+    scenario: Any = None,
     cut_offsets: Sequence[float],
     plan: Optional[FaultPlan] = None,
     config: Optional[ExperimentConfig] = None,
@@ -130,20 +128,29 @@ def run_powerloss_resume(
     the next cut (if any) is armed.  An optional ``plan`` additionally
     arms runtime fault injection for the whole measured phase.
 
+    Only closed-mode scenarios support resumption (an open-loop trace
+    has no retry semantics for an op lost to a power cut).
+
     Returns the measured-phase result plus one
     :class:`~repro.faults.recovery.PowerLossRecovery` per fired cut
     (a cut scheduled after the workload finishes never fires).
     """
     if not cut_offsets:
         raise ValueError("cut_offsets must not be empty")
+    workload = coerce_scenario(streams, scenario,
+                               "run_powerloss_resume")
+    if workload.mode != CLOSED:
+        raise ValueError(
+            "run_powerloss_resume() needs a closed-mode scenario: "
+            "open-loop replay cannot retry an op lost to a power cut")
     sim, ftl, controller, config, baseline, measured_stats = \
-        _warmed_system(ftl_name, streams, config, max_events,
+        _warmed_system(ftl_name, workload, config, max_events,
                        warmup_span, plan)
     if plan is not None and plan.enabled:
         controller.attach_fault_injector(
             FaultInjector(plan, page_size=config.geometry.page_size))
 
-    host = ClosedLoopHost(sim, controller, streams)
+    host = scenario_host(sim, controller, workload)
     power = ScheduledPowerLoss(
         sim, controller,
         at_times=[sim.now + offset for offset in cut_offsets])

@@ -94,9 +94,13 @@ def _record(args: argparse.Namespace) -> TraceRecordResult:
     config = ExperimentConfig(track_history=False)
     _, _, _, probe, _ = build_system(args.ftl, config)
     span = max(1, int(probe.logical_pages * BENCH_UTILIZATION))
+    from repro.scenarios import StreamScenario
+
     streams = WORKLOADS[args.workload](span, args.scale, args.seed)
+    scenario = StreamScenario.from_streams(streams,
+                                           name=args.workload)
     tracer = Tracer(capacity=args.capacity)
-    run_workload(ftl_name=args.ftl, streams=streams, config=config,
+    run_workload(ftl_name=args.ftl, scenario=scenario, config=config,
                  warmup_span=span, tracer=tracer)
     written = tracer.write_jsonl(args.out)
     return TraceRecordResult(

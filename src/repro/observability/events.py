@@ -38,6 +38,7 @@ FAULT_RECOVER = "fault.recover"
 QOS_ADMIT = "qos.admit"
 QOS_ARBITRATE = "qos.arbitrate"
 PROFILE_PHASE = "profile.phase"
+SCENARIO_PHASE = "scenario.phase"
 
 #: kind -> ((field, description), ...).  Every event also carries
 #: ``ev`` (the kind), ``t`` (simulation time, seconds) and ``phase``
@@ -140,6 +141,13 @@ EVENT_SCHEMA: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("wall_seconds", "wall-clock duration of the phase"),
         ("events", "kernel events retired during the phase"),
         ("sim_seconds", "simulated time the phase advanced"),
+    ),
+    SCENARIO_PHASE: (
+        ("name", "scenario phase the workload just entered (a "
+                 "generator schedule label, e.g. steady, delivery)"),
+        ("prev", "phase being left, '' at the first transition"),
+        ("stream", "scenario stream whose op first crossed the "
+                   "phase boundary"),
     ),
 }
 

@@ -44,7 +44,7 @@ eagerly, so they are exact regardless.
 Typical use::
 
     tracer = Tracer()
-    result = run_workload(ftl_name="flexFTL", streams=streams,
+    result = run_workload(ftl_name="flexFTL", scenario=scenario,
                           tracer=tracer)
     tracer.write_jsonl("run.jsonl")   # then: repro trace summary
 """

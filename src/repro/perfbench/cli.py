@@ -15,6 +15,7 @@ from repro.experiments import registry
 from repro.experiments.engine import EngineOptions
 from repro.perfbench.harness import (
     QOS_WORKLOADS,
+    SCENARIO_REPLAY,
     WORKLOADS,
     PerfbenchResult,
     run_perfbench,
@@ -29,9 +30,11 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workloads", default=None,
         help="comma-separated subset of "
-             f"{','.join(WORKLOADS)},{','.join(QOS_WORKLOADS)} "
+             f"{','.join(WORKLOADS)},{','.join(QOS_WORKLOADS)},"
+             f"{SCENARIO_REPLAY} "
              f"(default: {','.join(WORKLOADS)}; the multi-tenant "
-             f"{','.join(QOS_WORKLOADS)} scenario is opt-in)")
+             f"{','.join(QOS_WORKLOADS)} and streaming "
+             f"{SCENARIO_REPLAY} scenarios are opt-in)")
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="op-count multiplier (default 1.0)")

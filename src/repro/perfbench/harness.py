@@ -110,6 +110,13 @@ QOS_WORKLOADS: Dict[str, Callable[[int, float, int],
     "qos_mix": _qos_mix,
 }
 
+#: Opt-in streaming-replay benchmark (see :func:`time_scenario_replay`).
+SCENARIO_REPLAY = "scenario_replay"
+
+#: Preset the replay benchmark exports and streams back (fileserver is
+#: the most write- and burst-heavy of the Table-1 presets).
+SCENARIO_REPLAY_PRESET = "fileserver"
+
 
 @dataclasses.dataclass(frozen=True)
 class WorkloadTiming:
@@ -314,6 +321,67 @@ def time_traced_workload(name: str, streams: Sequence[List[StreamOp]],
     )
 
 
+def time_scenario_replay(name: str, path: str, host_ops: int,
+                         config: ExperimentConfig,
+                         warmup_span: int) -> WorkloadTiming:
+    """Time a streaming closed-loop replay of an on-disk scenario CSV.
+
+    Same shape as :func:`time_workload` — fresh system, warm-up fill
+    inside the timed region — but the measured phase streams
+    ``operation_sequence`` rows straight off disk through a
+    :class:`~repro.scenarios.host.StreamingClosedLoopHost`.  CSV
+    parsing is deliberately *inside* the timed region: a real replay
+    pays for it on every run, and this benchmark is the guard that the
+    bounded-memory path stays within shouting distance of the
+    materialized one.  (Exporting the file is not timed — the caller
+    writes it beforehand.)
+    """
+    from repro.scenarios.csvio import TraceScenario
+    from repro.scenarios.host import StreamingClosedLoopHost
+
+    sim, _array, _buffer, _ftl, controller = build_system(BENCH_FTL,
+                                                          config)
+    start = time.perf_counter()
+    fill = sequential_fill(warmup_span)
+    warm = ClosedLoopHost(sim, controller, [fill])
+    warm.start()
+    sim.run()
+    scenario = TraceScenario(path)
+    host = StreamingClosedLoopHost(sim, controller,
+                                   scenario.op_streams())
+    host.start()
+    sim.run()
+    wall = time.perf_counter() - start
+    total_ops = host_ops + len(fill)
+    return WorkloadTiming(
+        name=name,
+        events=sim.processed,
+        host_ops=total_ops,
+        wall_seconds=wall,
+        events_per_sec=sim.processed / wall,
+        host_ops_per_sec=total_ops / wall,
+    )
+
+
+def _scenario_replay_case(span: int, scale: float, seed: int,
+                          config: ExperimentConfig) -> WorkloadTiming:
+    """Export the replay preset to a temp CSV and time its replay."""
+    import os
+    import tempfile
+
+    from repro.scenarios.csvio import write_scenario_csv
+    from repro.scenarios.presets import make_preset
+
+    ops = max(200, int(BASE_OPS * scale))
+    scenario = make_preset(SCENARIO_REPLAY_PRESET, span, ops, seed=seed)
+    with tempfile.TemporaryDirectory(prefix="repro-perfbench-") as tmp:
+        path = os.path.join(
+            tmp, f"operation_sequence_{SCENARIO_REPLAY_PRESET}.csv")
+        rows = write_scenario_csv(scenario, path)
+        return time_scenario_replay(SCENARIO_REPLAY, path, rows,
+                                    config, span)
+
+
 @dataclasses.dataclass
 class TraceOverheadResult:
     """Outcome of ``repro perfbench --trace-overhead``.
@@ -489,8 +557,10 @@ def run_perfbench(
 
     Args:
         workloads: subset of :data:`WORKLOADS` plus
-            :data:`QOS_WORKLOADS` (default: the three core workloads;
-            ``qos_mix`` is opt-in).
+            :data:`QOS_WORKLOADS` and :data:`SCENARIO_REPLAY`
+            (default: the three core workloads; ``qos_mix`` and
+            ``scenario_replay`` are opt-in — each compares against its
+            own floor, not the raw-core one).
         scale: op-count multiplier (``--quick`` uses 0.1).
         seed: workload generation seed.
         track_history: keep per-block program histories (default off:
@@ -508,8 +578,10 @@ def run_perfbench(
         raise ValueError(f"scale must be positive, got {scale}")
     names = list(workloads) if workloads else list(WORKLOADS)
     for name in names:
-        if name not in WORKLOADS and name not in QOS_WORKLOADS:
-            known = sorted({**WORKLOADS, **QOS_WORKLOADS})
+        if (name not in WORKLOADS and name not in QOS_WORKLOADS
+                and name != SCENARIO_REPLAY):
+            known = sorted({**WORKLOADS, **QOS_WORKLOADS,
+                            SCENARIO_REPLAY: None})
             raise KeyError(
                 f"unknown workload {name!r}; choose from {known}"
             )
@@ -530,6 +602,9 @@ def run_perfbench(
                 timings[name] = time_workload(
                     name, WORKLOADS[name](span, scale, seed), config,
                     span)
+            elif name == SCENARIO_REPLAY:
+                timings[name] = _scenario_replay_case(span, scale,
+                                                      seed, config)
             else:
                 timings[name] = time_qos_workload(
                     name, QOS_WORKLOADS[name](span, scale, seed),

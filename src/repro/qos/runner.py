@@ -15,12 +15,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.flexftl import FlexFtl
-from repro.experiments.runner import ExperimentConfig, build_system
+from repro.experiments.runner import (
+    ExperimentConfig,
+    begin_measured_phase,
+    build_system,
+    warmup_device,
+)
 from repro.qos.host import MultiTenantHost, TenantSpec
-from repro.sim.host import ClosedLoopHost
-from repro.sim.stats import SimStats
-from repro.workloads.synthetic import sequential_fill
+from repro.scenarios.base import Scenario, as_scenario
 
 
 @dataclasses.dataclass
@@ -69,10 +71,42 @@ class QosRunResult:
         )
 
 
+def tenant_specs_from_scenario(scenario: Scenario
+                               ) -> List[TenantSpec]:
+    """Materialize a tenant-tagged scenario into QoS tenant specs.
+
+    Every op must carry a tenant tag (e.g. a
+    :class:`~repro.scenarios.generator.WorkloadScenario` with tenant
+    bindings); binding contracts — weight, rate, SLOs — carry over.
+    A :class:`~repro.qos.host.TenantSpec` holds streams as tuples, so
+    this view necessarily materializes the scenario.
+    """
+    grouped = scenario.tenant_streams()
+    bindings = {binding.name: binding
+                for binding in scenario.tenant_bindings()}
+    if not grouped:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares no tenants; a "
+            f"multi-tenant run needs tenant bindings or tagged ops")
+    specs: List[TenantSpec] = []
+    for name, streams in grouped.items():
+        binding = bindings.get(name)
+        if binding is None:
+            specs.append(TenantSpec.make(name, streams))
+        else:
+            specs.append(TenantSpec.make(
+                name, streams, weight=binding.weight,
+                rate_pages_per_sec=binding.rate_pages_per_sec,
+                read_slo=binding.read_slo,
+                write_slo=binding.write_slo))
+    return specs
+
+
 def run_qos_workload(
     *,
     ftl_name: str,
-    tenants: Sequence[TenantSpec],
+    tenants: Optional[Sequence[TenantSpec]] = None,
+    scenario: Any = None,
     arbiter: str = "fifo",
     config: Optional[ExperimentConfig] = None,
     max_outstanding: Optional[int] = 8,
@@ -85,6 +119,11 @@ def run_qos_workload(
     Args:
         ftl_name: a :data:`~repro.experiments.runner.FTL_REGISTRY` key.
         tenants: tenant specs (workload streams + QoS contracts).
+            Mutually exclusive with ``scenario``.
+        scenario: a tenant-tagged
+            :class:`~repro.scenarios.base.Scenario` (or spec dict);
+            tenant specs are materialized from its bindings via
+            :func:`tenant_specs_from_scenario`.
         arbiter: arbitration policy registry name.
         config: system configuration.
         max_outstanding: admission-gate in-flight bound.
@@ -96,29 +135,23 @@ def run_qos_workload(
     Returns:
         A :class:`QosRunResult` covering only the measured phase.
     """
+    if (tenants is None) == (scenario is None):
+        raise TypeError(
+            "run_qos_workload() takes exactly one of tenants= or "
+            "scenario=")
+    if scenario is not None:
+        tenants = tenant_specs_from_scenario(as_scenario(scenario))
     config = config or ExperimentConfig()
     sim, _array, _buffer, ftl, controller = build_system(ftl_name,
                                                          config)
 
-    if config.warmup:
-        if warmup_span is None:
-            touched = [op.lpn + op.npages for spec in tenants
-                       for stream in spec.streams for op in stream]
-            warmup_span = min(ftl.logical_pages,
-                              max(touched) if touched else 1)
-        fill = sequential_fill(warmup_span)
-        warmup_host = ClosedLoopHost(sim, controller, [fill])
-        warmup_host.start()
-        sim.run(max_events=max_events)
-        if isinstance(ftl, FlexFtl):
-            # Same reset as run_workload: measurement starts from the
-            # paper's initial LSB-quota state.
-            ftl.quota.reset()
-
-    baseline = dict(ftl.counters())
-    measured_stats = SimStats(page_size=config.geometry.page_size,
-                              bandwidth_window=config.bandwidth_window)
-    controller.stats = measured_stats
+    touched = [op.lpn + op.npages for spec in tenants
+               for stream in spec.streams for op in stream]
+    warmup_device(sim, controller, ftl, config,
+                  footprint=max(touched) if touched else 1,
+                  warmup_span=warmup_span, max_events=max_events)
+    baseline, measured_stats = begin_measured_phase(controller, ftl,
+                                                    config)
 
     host = MultiTenantHost(
         sim, controller, tenants, arbiter=arbiter,

@@ -1,0 +1,138 @@
+"""Streaming hosts: drive a controller from lazy scenario iterators.
+
+These mirror the materialized hosts of :mod:`repro.sim.host` — same
+event pattern, same request construction, same completion-driven
+advancement — but pull operations from iterators one at a time, so a
+scenario (or an on-disk trace) of any length runs in bounded memory.
+
+:class:`StreamingClosedLoopHost` is event-for-event identical to
+:class:`~repro.sim.host.ClosedLoopHost` on the same op sequence: the
+golden fig8 byte-identity test runs the legacy ``streams=`` adapter
+through this host, so any divergence fails tier 1.
+
+When the controller has a tracer installed, the closed-loop host emits
+a ``scenario.phase`` trace event the first time an op of a new
+generator phase is issued — the bridge between the workload's declared
+structure (fill/steady/burst/idle) and the device-side event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.observability.events import SCENARIO_PHASE
+from repro.scenarios.base import ScenarioOp
+from repro.sim.controller import StorageController
+from repro.sim.kernel import Simulator
+from repro.sim.queues import Request
+
+
+class StreamingClosedLoopHost:
+    """Closed-loop delivery from per-stream op iterators.
+
+    Holds exactly one pending op per stream (the lookahead needed to
+    know whether a stream is exhausted); everything else stays inside
+    the iterators.
+
+    ``tenant`` is the default tag for ops that carry none of their
+    own; a :class:`~repro.scenarios.base.ScenarioOp`'s ``tenant``
+    field wins when set.
+    """
+
+    def __init__(self, sim: Simulator, controller: StorageController,
+                 streams: Sequence[Iterator[ScenarioOp]],
+                 tenant: Optional[str] = None) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.tenant = tenant
+        self._iters: List[Iterator[ScenarioOp]] = list(streams)
+        self._current: List[Optional[ScenarioOp]] = \
+            [None] * len(self._iters)
+        self._phase = ""
+        self.issued = 0
+
+    def start(self) -> None:
+        """Pull each stream's first op and kick off the non-empty ones."""
+        for index, iterator in enumerate(self._iters):
+            op = next(iterator, None)
+            self._current[index] = op
+            if op is not None:
+                self.sim.schedule(0.0, self._issue, index)
+
+    def _issue(self, index: int) -> None:
+        op = self._current[index]
+        assert op is not None
+        trace = getattr(self.controller, "_trace", None)
+        if trace is not None and op.phase and op.phase != self._phase:
+            trace.event(SCENARIO_PHASE, name=op.phase,
+                        prev=self._phase, stream=index)
+            self._phase = op.phase
+        request = Request(self.sim.now, op.kind, op.lpn, op.npages,
+                          tenant=op.tenant if op.tenant is not None
+                          else self.tenant)
+        request.on_complete = \
+            lambda _req, _now, i=index, think=op.think_after: \
+            self._advance(i, think)
+        self.controller.submit(request)
+        self.issued += 1
+
+    def _advance(self, index: int, think: float) -> None:
+        nxt = next(self._iters[index], None)
+        self._current[index] = nxt
+        if nxt is not None:
+            self.sim.schedule(think, self._issue, index)
+
+    def resume(self) -> int:
+        """Re-issue every unfinished stream after a power cut.
+
+        Mirrors :meth:`repro.sim.host.ClosedLoopHost.resume`: streams
+        whose in-flight op never completed retry it from their held
+        pending op.  Returns the number of streams restarted.
+        """
+        restarted = 0
+        for index, op in enumerate(self._current):
+            if op is not None:
+                self.sim.schedule(0.0, self._issue, index)
+                restarted += 1
+        return restarted
+
+
+class StreamingTraceReplayHost:
+    """Open-loop delivery from a lazy, time-ordered request iterator.
+
+    The streaming counterpart of
+    :class:`~repro.sim.host.TraceReplayHost`: arrivals fire at their
+    trace timestamps regardless of device state, but only a single
+    look-ahead request is ever held, so a billion-op on-disk trace
+    replays in constant memory.  Raises on an out-of-order arrival,
+    naming the offending position.
+    """
+
+    def __init__(self, sim: Simulator, controller: StorageController,
+                 requests: Iterator[Request]) -> None:
+        self.sim = sim
+        self.controller = controller
+        self._iter = iter(requests)
+        self._next: Optional[Request] = next(self._iter, None)
+        self.issued = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival (no-op for an empty trace)."""
+        if self._next is not None:
+            self.sim.schedule_at(max(self.sim.now, self._next.time),
+                                 self._arrive)
+
+    def _arrive(self) -> None:
+        request = self._next
+        assert request is not None
+        self._next = next(self._iter, None)
+        if self._next is not None:
+            if self._next.time < request.time:
+                raise ValueError(
+                    f"trace must be sorted by arrival time; request "
+                    f"{self.issued + 1} arrives at {self._next.time!r} "
+                    f"after {request.time!r}")
+            self.sim.schedule_at(max(self.sim.now, self._next.time),
+                                 self._arrive)
+        self.controller.submit(request)
+        self.issued += 1

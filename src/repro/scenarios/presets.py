@@ -1,0 +1,186 @@
+"""Named scenario presets for the paper's Table-1 workload mixes.
+
+Each preset maps one of the evaluation workloads onto a
+:class:`~repro.scenarios.generator.WorkloadScenario` phase schedule:
+the steady database loads (OLTP/NTRX) run two intensive steady phases
+around an idle GC window; the Filebench loads keep their published
+burst/idle structure (Varmail fsync storms, Fileserver append bursts).
+Every measured phase of a preset shares the preset's read fraction, so
+the *declared* read:write mix equals Table 1's ratio and the
+``scenario_grid`` experiment can check measured traffic against it.
+
+The ``fill`` phase is opt-in (``fill=True``): the measured runners
+already precondition the device with a sequential fill of the
+footprint, so presets default to measured traffic only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from repro.scenarios.generator import Phase, WorkloadScenario
+
+
+@dataclasses.dataclass(frozen=True)
+class PresetInfo:
+    """Registry entry for one named preset."""
+
+    name: str
+    read_fraction: float
+    blurb: str
+    builder: Callable[..., WorkloadScenario]
+
+    @property
+    def read_write_ratio(self) -> str:
+        from repro.workloads.benchmarks import format_rw_ratio
+        return format_rw_ratio(self.read_fraction)
+
+
+def _split(total_ops: int, *weights: float) -> List[int]:
+    """Split an op budget over phases proportionally (exact total)."""
+    scale = sum(weights)
+    counts = [int(total_ops * w / scale) for w in weights]
+    counts[0] += total_ops - sum(counts)
+    return counts
+
+
+def _fill_phase() -> Phase:
+    return Phase(name="fill", kind="fill", npages=(8,))
+
+
+def _schedule(phases: List[Phase]) -> Tuple[Phase, ...]:
+    """Drop drawing phases whose op budget rounded to zero (tiny
+    ``total_ops``) so every remaining phase is valid."""
+    return tuple(p for p in phases
+                 if p.kind not in ("steady", "burst") or p.ops > 0)
+
+
+def _oltp(footprint: int, total_ops: int, seed: int, fill: bool,
+          *, name: str = "oltp", read_fraction: float = 0.7
+          ) -> WorkloadScenario:
+    ramp, steady = _split(total_ops, 0.4, 0.6)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases += [
+        Phase(name="ramp", kind="steady", ops=ramp,
+              read_fraction=read_fraction, npages=(4,), hot=0.6,
+              zipf_s=1.1),
+        Phase(name="gc-window", kind="idle", idle=0.05),
+        Phase(name="steady", kind="steady", ops=steady,
+              read_fraction=read_fraction, npages=(4,), hot=0.6,
+              zipf_s=1.1),
+    ]
+    return WorkloadScenario(name=name, footprint=footprint, streams=16,
+                            phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.15)
+
+
+def _ntrx(footprint: int, total_ops: int, seed: int, fill: bool
+          ) -> WorkloadScenario:
+    return _oltp(footprint, total_ops, seed, fill, name="ntrx",
+                 read_fraction=0.3)
+
+
+def _webserver(footprint: int, total_ops: int, seed: int, fill: bool
+               ) -> WorkloadScenario:
+    serve, tail = _split(total_ops, 0.5, 0.5)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases += [
+        Phase(name="serve", kind="steady", ops=serve,
+              read_fraction=0.8, npages=(1, 2), hot=0.5, zipf_s=0.9,
+              think=4e-3),
+        Phase(name="lull", kind="idle", idle=0.10),
+        Phase(name="serve-tail", kind="steady", ops=tail,
+              read_fraction=0.8, npages=(1, 2), hot=0.5, zipf_s=0.9,
+              think=4e-3),
+    ]
+    return WorkloadScenario(name="webserver", footprint=footprint,
+                            streams=8, phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.1)
+
+
+def _varmail(footprint: int, total_ops: int, seed: int, fill: bool
+             ) -> WorkloadScenario:
+    first, second = _split(total_ops, 0.5, 0.5)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases += [
+        Phase(name="delivery", kind="burst", ops=first,
+              read_fraction=0.5, npages=(1,), burst_len=512,
+              burst_idle=0.18, read_recent=0.6, zipf_s=0.9),
+        Phase(name="quiet", kind="idle", idle=0.20),
+        Phase(name="delivery-2", kind="burst", ops=second,
+              read_fraction=0.5, npages=(1,), burst_len=512,
+              burst_idle=0.18, read_recent=0.6, zipf_s=0.9),
+    ]
+    return WorkloadScenario(name="varmail", footprint=footprint,
+                            streams=4, phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.2)
+
+
+def _fileserver(footprint: int, total_ops: int, seed: int, fill: bool
+                ) -> WorkloadScenario:
+    first, second = _split(total_ops, 0.5, 0.5)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases += [
+        Phase(name="appends", kind="burst", ops=first,
+              read_fraction=0.33, npages=(4,), burst_len=96,
+              burst_idle=0.30, seq=0.3, zipf_s=0.9),
+        Phase(name="scan-gap", kind="idle", idle=0.30),
+        Phase(name="appends-2", kind="burst", ops=second,
+              read_fraction=0.33, npages=(4,), burst_len=96,
+              burst_idle=0.30, seq=0.3, zipf_s=0.9),
+    ]
+    return WorkloadScenario(name="fileserver", footprint=footprint,
+                            streams=4, phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.2)
+
+
+#: preset name -> registry entry.  The first four are Table 1's
+#: Figure-8 workloads; ``ntrx`` is the fifth Table-1 mix.
+PRESETS: Dict[str, PresetInfo] = {
+    "oltp": PresetInfo(
+        "oltp", 0.7,
+        "Sysbench OLTP: 16 steady streams, 4-page ops, hot/cold skew",
+        _oltp),
+    "webserver": PresetInfo(
+        "webserver", 0.8,
+        "Filebench Webserver: 8 read-dominant streams with think time",
+        _webserver),
+    "varmail": PresetInfo(
+        "varmail", 0.5,
+        "Filebench Varmail: fsync storms re-reading fresh writes",
+        _varmail),
+    "fileserver": PresetInfo(
+        "fileserver", 0.33,
+        "Filebench Fileserver: sequential-leaning append bursts",
+        _fileserver),
+    "ntrx": PresetInfo(
+        "ntrx", 0.3,
+        "Sysbench NTRX: the OLTP shape with a 3:7 read:write mix",
+        _ntrx),
+}
+
+#: Table 1's Figure-8 four, in the paper's order.
+TABLE1_PRESETS: Tuple[str, ...] = ("oltp", "webserver", "varmail",
+                                   "fileserver")
+
+
+def make_preset(name: str, footprint: int, total_ops: int,
+                seed: int = 1, fill: bool = False) -> WorkloadScenario:
+    """Instantiate a named preset.
+
+    Args:
+        name: a :data:`PRESETS` key.
+        footprint: logical pages the workload addresses (size it with
+            :func:`repro.experiments.runner.experiment_span`).
+        total_ops: measured operations across all streams and phases.
+        seed: base RNG seed.
+        fill: prepend an explicit sequential fill phase (off by
+            default — the runners precondition separately).
+    """
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    if total_ops <= 0:
+        raise ValueError(f"total_ops must be positive, got {total_ops}")
+    return PRESETS[name].builder(footprint, total_ops, seed, fill)

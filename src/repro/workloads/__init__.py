@@ -10,7 +10,7 @@ primitives; :mod:`repro.workloads.trace` a simple trace file format.
 """
 
 from repro.workloads.zipf import ZipfSampler
-from repro.workloads.trace import load_trace, save_trace
+from repro.workloads.trace import iter_trace, load_trace, save_trace
 from repro.workloads.synthetic import (
     burst_stream,
     mixed_stream,
@@ -26,6 +26,7 @@ from repro.workloads.benchmarks import (
 
 __all__ = [
     "ZipfSampler",
+    "iter_trace",
     "load_trace",
     "save_trace",
     "sequential_fill",

@@ -25,7 +25,7 @@ inputs.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 from repro.sim.queues import Request, RequestKind
 
@@ -68,15 +68,20 @@ def save_trace(path: Union[str, Path],
             handle.write(line + "\n")
 
 
-def load_trace(path: Union[str, Path]) -> List[Request]:
-    """Read a request trace written by :func:`save_trace`.
+def iter_trace(path: Union[str, Path]) -> Iterator[Request]:
+    """Stream a request trace written by :func:`save_trace`.
+
+    Yields one :class:`~repro.sim.queues.Request` per data line while
+    holding only the current line in memory, so arbitrarily large
+    traces replay in bounded space (feed the iterator straight to a
+    :class:`~repro.scenarios.host.StreamingTraceReplayHost`).
 
     Accepts both the four-column format and the five-column
     multi-tenant one; the two may even be mixed line-by-line, in which
-    case four-column lines load with ``tenant=None``.
+    case four-column lines load with ``tenant=None``.  Malformed lines
+    raise :class:`ValueError` prefixed with ``path:lineno:``.
     """
     path = Path(path)
-    requests: List[Request] = []
     with path.open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -92,11 +97,25 @@ def load_trace(path: Union[str, Path]) -> List[Request]:
             tenant = fields[4] if len(fields) == 5 else _NO_TENANT
             if op not in _OP_KINDS:
                 raise ValueError(f"{path}:{lineno}: unknown op {op!r}")
-            requests.append(Request(
-                time=float(time_str),
+            try:
+                time = float(time_str)
+                lpn = int(lpn_str)
+                npages = int(npages_str)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            yield Request(
+                time=time,
                 kind=_OP_KINDS[op],
-                lpn=int(lpn_str),
-                npages=int(npages_str),
+                lpn=lpn,
+                npages=npages,
                 tenant=None if tenant == _NO_TENANT else tenant,
-            ))
-    return requests
+            )
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a whole request trace into memory.
+
+    Materializes :func:`iter_trace` — convenient for small traces and
+    tests; prefer the iterator form for replaying large files.
+    """
+    return list(iter_trace(path))

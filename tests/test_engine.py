@@ -148,7 +148,7 @@ class TestEngine:
         results = run_cells(cells, options=EngineOptions(jobs=2))
         # Distinct workloads complete distinct request counts; order
         # must follow the submitted cells, not completion time.
-        expected = [sum(len(s) for s in cell.kwargs["streams"])
+        expected = [sum(len(s) for s in cell.kwargs["scenario"]["streams"])
                     for cell in cells]
         assert [r.stats.completed_requests for r in results] == expected
 
