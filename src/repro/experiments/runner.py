@@ -39,7 +39,7 @@ from repro.scenarios.host import (
 )
 from repro.sim.controller import StorageController
 from repro.sim.host import ClosedLoopHost, StreamOp
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import HeapSimulator, Simulator
 from repro.sim.queues import WriteBuffer
 from repro.sim.stats import SimStats
 from repro.workloads.synthetic import sequential_fill
@@ -65,6 +65,16 @@ EXPERIMENT_GEOMETRY = NandGeometry(
     page_size=4096,
 )
 
+#: Chip count past which vectorized batches *could* amortize numpy
+#: call overhead — kept for callers sizing explicit ``stepping=
+#: "vector"`` runs; ``"auto"`` resolves to event stepping (measured;
+#: see :func:`build_system` and docs/PERFORMANCE.md).
+VECTOR_AUTO_CHIPS = 32
+
+#: Minimum same-tick program batch the vector path accepts; smaller
+#: batches run the sequential per-op loop.
+VECTOR_MIN_BATCH = 4
+
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentConfig:
@@ -87,6 +97,18 @@ class ExperimentConfig:
     #: analyses; performance runs turn this off — it does not change
     #: any simulation outcome, only what the device remembers).
     track_history: bool = True
+    #: event-queue implementation: "calendar" (bucket queue sized to
+    #: the LSB-program latency quantum) or "heap" (the original binary
+    #: heap, kept as the equivalence oracle).  Pop order — and hence
+    #: every simulation outcome — is identical.
+    kernel: str = "calendar"
+    #: chip-dispatch stepping: "event" (one op at a time, the oracle),
+    #: "batch" (independent same-tick ops issued as one flush),
+    #: "vector" (batch + numpy-vectorized NAND programs over a unified
+    #: state store), or "auto" (currently event: closed-loop traffic
+    #: yields singleton batches, so the flush indirection never pays
+    #: — see build_system).  Outcome-identical by design.
+    stepping: str = "auto"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe snapshot, invertible via :meth:`from_dict`.
@@ -111,6 +133,8 @@ class ExperimentConfig:
             rtf_active_blocks=int(data["rtf_active_blocks"]),  # type: ignore[arg-type]
             flex_use_predictor=bool(data["flex_use_predictor"]),
             track_history=bool(data.get("track_history", True)),
+            kernel=str(data.get("kernel", "calendar")),
+            stepping=str(data.get("stepping", "auto")),
         )
 
 
@@ -196,7 +220,20 @@ def build_system(
         )
     config = config or ExperimentConfig()
     ftl_cls, scheme = FTL_REGISTRY[ftl_name]
-    sim = Simulator()
+    if config.kernel == "calendar":
+        # Bucket width = the LSB program time, the dominant latency
+        # quantum of write-heavy NAND traffic.  Narrower buckets
+        # (e.g. one read slot) leave most buckets empty and waste the
+        # run loop on day advances; measured sweep in
+        # docs/PERFORMANCE.md.
+        sim: Simulator = Simulator(
+            bucket_width=config.timing.t_lsb_prog)
+    elif config.kernel == "heap":
+        sim = HeapSimulator()  # type: ignore[assignment]
+    else:
+        raise ValueError(
+            f"unknown kernel {config.kernel!r}; "
+            f"choose 'calendar' or 'heap'")
     array = NandArray(config.geometry, config.timing, scheme=scheme,
                       track_history=config.track_history)
     buffer = WriteBuffer(config.buffer_pages)
@@ -214,7 +251,32 @@ def build_system(
         ftl = ftl_cls(array, buffer, config.ftl_config)
     stats = SimStats(page_size=config.geometry.page_size,
                      bandwidth_window=config.bandwidth_window)
-    controller = StorageController(sim, array, ftl, buffer, stats)
+    stepping = config.stepping
+    if stepping == "auto":
+        # Measured: the controller pump runs once per completion, and
+        # completions of a closed-loop workload arrive one at a time,
+        # so same-tick batches are almost always singletons (314k of
+        # 314k flushes at 16x geometry) and the flush indirection only
+        # costs.  Batch/vector stay as explicit, outcome-identical
+        # opt-ins for open-loop burst traffic; auto takes the fast
+        # path.  See docs/PERFORMANCE.md.
+        stepping = "event"
+    if stepping == "event":
+        batching, vector_min = False, None
+    elif stepping == "batch":
+        batching, vector_min = True, None
+    elif stepping == "vector":
+        batching = True
+        # Falls back to plain batching when numpy is unavailable.
+        vector_min = (VECTOR_MIN_BATCH
+                      if array.unify_state_store() else None)
+    else:
+        raise ValueError(
+            f"unknown stepping {config.stepping!r}; choose "
+            f"'auto', 'event', 'batch' or 'vector'")
+    controller = StorageController(sim, array, ftl, buffer, stats,
+                                   batching=batching,
+                                   vector_min=vector_min)
     return sim, array, buffer, ftl, controller
 
 

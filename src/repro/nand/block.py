@@ -182,7 +182,14 @@ class Block:
 
     def erase(self) -> None:
         """Erase the block, resetting all page state and the history."""
-        self._states = bytearray(self.pages)
+        states = self._states
+        if type(states) is bytearray:
+            self._states = bytearray(self.pages)
+        else:
+            # Unified device-wide store (NandArray.unify_state_store):
+            # the block's states are a memoryview slice that aliased
+            # buffers depend on, so zero in place instead of rebinding.
+            states[:] = bytes(self.pages)
         if self._data is not None:
             self._data = [None] * self.pages
         if self.program_history:

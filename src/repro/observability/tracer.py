@@ -53,8 +53,7 @@ from __future__ import annotations
 
 import gc
 import json
-from bisect import bisect_right
-from heapq import heappush
+from bisect import bisect_left, bisect_right
 from math import inf
 from typing import Dict, List, Optional
 
@@ -318,6 +317,7 @@ class Tracer:
         # never rebound after construction: safe to hoist
         on_op_done = controller._on_op_done
         in_flight = controller.in_flight
+        sim_push = sim._push
         raw = self._op_raw
         raw_extend = raw.extend
         capacity = self.capacity
@@ -363,10 +363,10 @@ class Tracer:
                 tracer.dropped_ops += drop // _OP_WIDTH
                 del raw[:drop]
             controller._busy[chip_id] = True
-            controller._idle.remove(chip_id)
+            idle = controller._idle
+            del idle[bisect_left(idle, chip_id)]
             in_flight[chip_id] = op
-            heappush(sim._queue,
-                     [done, 0, next(sim._seq), on_op_done,
+            sim_push([done, 0, next(sim._seq), on_op_done,
                       (chip_id, op, read_request), False, sim._cancelled])
 
         return _traced_execute

@@ -16,9 +16,11 @@ from repro.experiments.engine import EngineOptions
 from repro.perfbench.harness import (
     QOS_WORKLOADS,
     SCENARIO_REPLAY,
+    TRACE_OVERHEAD_BUDGET_PCT,
     WORKLOADS,
     PerfbenchResult,
     run_perfbench,
+    run_scale_sweep,
     run_trace_overhead,
 )
 
@@ -62,19 +64,43 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
              "throughput: alternating untraced/traced rounds of one "
              "workload, median rates compared (see --overhead-budget)")
     parser.add_argument(
-        "--rounds", type=int, default=5,
-        help="untraced/traced round pairs for --trace-overhead "
-             "(default 5)")
+        "--scale-sweep", action="store_true",
+        help="benchmark one workload at 1x/4x/16x chip counts, new "
+             "config vs the heap/event oracle on identical streams "
+             "(event counts cross-checked; see docs/PERFORMANCE.md)")
     parser.add_argument(
-        "--overhead-budget", type=float, default=3.0, metavar="PCT",
+        "--rounds", type=int, default=None,
+        help="measurement rounds per arm (default 5 for "
+             "--trace-overhead, 3 for --scale-sweep)")
+    parser.add_argument(
+        "--sweep-multipliers", default="1,4,16", metavar="M,M,...",
+        help="comma-separated chip-count multipliers for "
+             "--scale-sweep; each must be a perfect square "
+             "(default 1,4,16)")
+    parser.add_argument(
+        "--overhead-budget", type=float,
+        default=TRACE_OVERHEAD_BUDGET_PCT, metavar="PCT",
         help="maximum acceptable tracing overhead percent for "
-             "--trace-overhead (default 3.0)")
+             "--trace-overhead; this run is judged (and its JSON "
+             "records passed/failed) against exactly this value "
+             f"(default {TRACE_OVERHEAD_BUDGET_PCT:g})")
+    parser.add_argument(
+        "--kernel", choices=("calendar", "heap"), default="calendar",
+        help="event-queue implementation to benchmark "
+             "(default calendar; heap is the frozen oracle)")
+    parser.add_argument(
+        "--stepping", choices=("auto", "event", "batch", "vector"),
+        default="auto",
+        help="chip-dispatch stepping mode (default auto)")
 
 
 def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
     del engine_options  # serial by design; see module docstring
     workloads = args.workloads.split(",") if args.workloads else None
     scale = QUICK_SCALE if args.quick else args.scale
+    if args.trace_overhead and args.scale_sweep:
+        raise registry.CliError(
+            "--trace-overhead and --scale-sweep are mutually exclusive")
     if args.trace_overhead:
         workload = workloads[0] if workloads else "fig8_write"
         try:
@@ -82,8 +108,30 @@ def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
                 workload=workload,
                 scale=scale,
                 seed=args.seed,
-                rounds=args.rounds,
+                rounds=args.rounds if args.rounds is not None else 5,
                 budget_pct=args.overhead_budget,
+                output_path=args.output,
+            )
+        except (KeyError, ValueError) as error:
+            raise registry.CliError(str(error.args[0])) from error
+    if args.scale_sweep:
+        workload = workloads[0] if workloads else "fig8_write"
+        try:
+            multipliers = tuple(
+                int(part) for part in args.sweep_multipliers.split(","))
+        except ValueError as error:
+            raise registry.CliError(
+                f"--sweep-multipliers must be comma-separated "
+                f"integers, got {args.sweep_multipliers!r}") from error
+        try:
+            return run_scale_sweep(
+                workload=workload,
+                scale=scale,
+                seed=args.seed,
+                rounds=args.rounds if args.rounds is not None else 3,
+                multipliers=multipliers,
+                kernel=args.kernel,
+                stepping=args.stepping,
                 output_path=args.output,
             )
         except (KeyError, ValueError) as error:
@@ -97,6 +145,8 @@ def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
             floor=args.floor,
             profile_path=args.profile,
             output_path=args.output,
+            kernel=args.kernel,
+            stepping=args.stepping,
         )
     except (KeyError, ValueError) as error:
         raise registry.CliError(str(error.args[0])) from error

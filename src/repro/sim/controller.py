@@ -12,9 +12,8 @@ semantics); read requests complete when their last page is read.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from collections import deque
-from heapq import heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.nand.array import NandArray
@@ -58,6 +57,9 @@ class StorageController:
         ftl,  # BaseFtl; untyped to avoid a circular import
         write_buffer: WriteBuffer,
         stats: Optional[SimStats] = None,
+        *,
+        batching: bool = True,
+        vector_min: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.array = array
@@ -107,6 +109,28 @@ class StorageController:
         self.completion_hook: Optional[Callable[[Request, float], None]] = \
             None
         self._pumping = False
+        #: completion-event insertion, bound once (works for both the
+        #: calendar and the heap kernel; see Simulator._push)
+        self._sim_push = sim._push
+        #: batched stepping: the pump collects independent ready ops
+        #: from distinct idle chips and issues them as one flush (see
+        #: :meth:`_flush_batch`).  Byte-identical to one-at-a-time
+        #: dispatch — op production never reads another chip's issue
+        #: bookkeeping — and disabled automatically while ``_execute``
+        #: is patched (tracing, OpLog), since the batch path bypasses
+        #: the per-op wrapper.
+        self._batching = batching
+        self._batch: list = []
+        if vector_min is not None and vector_min < 2:
+            raise ValueError(
+                f"vector_min must be >= 2, got {vector_min}")
+        #: minimum batch size for the vectorized NAND program path
+        #: (None disables it; see NandArray.program_batch).  Arrays
+        #: without a batch entry point (e.g. the TLC model) keep the
+        #: per-op path.
+        self._array_program_batch = getattr(array, "program_batch", None)
+        self._vector_min = vector_min \
+            if self._array_program_batch is not None else None
         #: op currently executing per chip (power-loss tooling inspects it)
         self.in_flight: Dict[int, FlashOp] = {}
         #: fault injector consulted after every completed flash op, or
@@ -198,6 +222,14 @@ class StorageController:
             capacity = buffer.capacity
             # the clock cannot advance mid-pump: hoist it
             now = self.sim.now
+            # Batched stepping: collect (chip, op) pairs and issue them
+            # together.  The batch MUST flush before _next_read_op runs
+            # (its stale-entry scan can complete host requests, whose
+            # callbacks draw event seq numbers) so the kernel sees the
+            # exact unbatched event order.
+            batch = self._batch \
+                if self._batching and "_execute" not in self.__dict__ \
+                else None
             progress = True
             while progress:
                 progress = bool(admissions) \
@@ -207,6 +239,8 @@ class StorageController:
                 for chip_id in tuple(idle):
                     read_request: Optional[Request] = None
                     if read_queues[chip_id]:
+                        if batch:
+                            self._flush_batch(batch)
                         op, read_request = self._next_read_op(chip_id)
                     else:
                         op = None
@@ -220,8 +254,14 @@ class StorageController:
                         op = self.ftl.background_op(chip_id, now)
                     if op is None:
                         continue
-                    self._execute(chip_id, op, read_request)
+                    if batch is None or read_request is not None:
+                        self._execute(chip_id, op, read_request)
+                    else:
+                        batch.append(chip_id)
+                        batch.append(op)
                     progress = True
+                if batch:
+                    self._flush_batch(batch)
         finally:
             self._pumping = False
 
@@ -375,17 +415,99 @@ class StorageController:
             total = self._array_erase(op.addr.channel, op.addr.chip,
                                       op.addr.block)
         self._busy[chip_id] = True
-        self._idle.remove(chip_id)
+        idle = self._idle
+        del idle[bisect_left(idle, chip_id)]
         self.in_flight[chip_id] = op
-        # Simulator.schedule, open-coded (one completion event per
-        # executed op; keep in sync with repro.sim.kernel — ``total``
-        # is always non-negative, so the delay check is skipped).  A
-        # plain list is pushed instead of an Event: nothing ever holds
-        # a handle to a completion event, the kernel treats entries as
-        # flat lists, and the heap compares them identically.
-        heappush(sim._queue,
-                 [now + total, 0, next(sim._seq), self._on_op_done,
-                  (chip_id, op, read_request), False, sim._cancelled])
+        # Simulator.schedule, minus the handle and the delay check
+        # (``total`` is always non-negative): a plain list is pushed
+        # instead of an Event — nothing ever holds a handle to a
+        # completion event, the kernel treats entries as flat lists,
+        # and they compare identically.  ``_sim_push`` is the kernel's
+        # queue insertion, bound once at construction.
+        self._sim_push(
+            [now + total, 0, next(sim._seq), self._on_op_done,
+             (chip_id, op, read_request), False, sim._cancelled])
+
+    def _flush_batch(self, batch: list) -> None:
+        """Issue the collected ``[chip, op, chip, op, ...]`` pairs.
+
+        Semantically ``for chip, op in pairs: self._execute(chip, op,
+        None)`` — keep the timing arithmetic and bookkeeping in sync
+        with :meth:`_execute`.  The batch shape lets the NAND state
+        mutations be hoisted into one vectorized
+        :meth:`~repro.nand.array.NandArray.program_batch` call when
+        every op is a program: latencies depend only on page type and
+        channel timing only on issue order, so hoisting the array
+        mutations ahead of the per-op timing loop is invisible.
+        """
+        n = len(batch)
+        if n == 2:
+            chip_id = batch[0]
+            op = batch[1]
+            del batch[:]
+            self._execute(chip_id, op, None)
+            return
+        latencies = None
+        vector_min = self._vector_min
+        if vector_min is not None and n >= 2 * vector_min:
+            all_programs = True
+            for i in range(1, n, 2):
+                if batch[i].kind is not _PROGRAM:
+                    all_programs = False
+                    break
+            if all_programs:
+                latencies = self._array_program_batch(
+                    [batch[i].addr for i in range(1, n, 2)],
+                    [batch[i].data for i in range(1, n, 2)])
+        sim = self.sim
+        now = sim.now
+        chips_per_channel = self._chips_per_channel
+        channel_free = self._channel_free
+        t_transfer = self._t_transfer
+        busy = self._busy
+        idle = self._idle
+        in_flight = self.in_flight
+        sim_push = self._sim_push
+        seq = sim._seq
+        cancelled = sim._cancelled
+        on_op_done = self._on_op_done
+        array_program = self._array_program
+        array_read = self._array_read
+        array_erase = self._array_erase
+        j = 0
+        for i in range(0, n, 2):
+            chip_id = batch[i]
+            op = batch[i + 1]
+            kind = op.kind
+            if kind is _PROGRAM:
+                channel = chip_id // chips_per_channel
+                start = channel_free[channel]
+                if start < now:
+                    start = now
+                channel_free[channel] = start + t_transfer
+                if latencies is None:
+                    latency = array_program(op.addr, op.data)
+                else:
+                    latency = latencies[j]
+                    j += 1
+                total = (start - now) + t_transfer + latency
+            elif kind is _READ:
+                channel = chip_id // chips_per_channel
+                start = channel_free[channel]
+                if start < now:
+                    start = now
+                channel_free[channel] = start + t_transfer
+                _, latency = array_read(op.addr)
+                total = (start - now) + t_transfer + latency
+            else:
+                total = array_erase(op.addr.channel, op.addr.chip,
+                                    op.addr.block)
+            busy[chip_id] = True
+            del idle[bisect_left(idle, chip_id)]
+            in_flight[chip_id] = op
+            sim_push([now + total, 0, next(seq), on_op_done,
+                      (chip_id, op, None), False, cancelled])
+        del batch[:]
 
     def _on_op_done(self, chip_id: int, op: FlashOp,
                     read_request: Optional[Request]) -> None:
@@ -417,6 +539,9 @@ class StorageController:
             buffer = self.write_buffer
             capacity = buffer.capacity
             now = self.sim.now
+            batch = self._batch \
+                if self._batching and "_execute" not in self.__dict__ \
+                else None
             progress = True
             while progress:
                 progress = bool(admissions) \
@@ -425,6 +550,8 @@ class StorageController:
                 for cid in tuple(idle):
                     rreq: Optional[Request] = None
                     if read_queues[cid]:
+                        if batch:
+                            self._flush_batch(batch)
                         next_op, rreq = self._next_read_op(cid)
                     else:
                         next_op = None
@@ -437,8 +564,14 @@ class StorageController:
                         next_op = self.ftl.background_op(cid, now)
                     if next_op is None:
                         continue
-                    self._execute(cid, next_op, rreq)
+                    if batch is None or rreq is not None:
+                        self._execute(cid, next_op, rreq)
+                    else:
+                        batch.append(cid)
+                        batch.append(next_op)
                     progress = True
+                if batch:
+                    self._flush_batch(batch)
         finally:
             self._pumping = False
 
@@ -533,11 +666,11 @@ class StorageController:
                 else:
                     resolved = "lost"
         sim = self.sim
-        heappush(sim._queue,
-                 [sim.now + extra, 0, next(sim._seq),
-                  self._finish_read_recovery,
-                  (chip_id, op, read_request, resolved),
-                  False, sim._cancelled])
+        self._sim_push(
+            [sim.now + extra, 0, next(sim._seq),
+             self._finish_read_recovery,
+             (chip_id, op, read_request, resolved),
+             False, sim._cancelled])
         return True
 
     def _finish_read_recovery(self, chip_id: int, op: FlashOp,
@@ -630,6 +763,7 @@ class StorageController:
             queue.clear()
         self._queued_reads = 0
         self.in_flight.clear()
+        del self._batch[:]  # always empty outside a pump; belt-and-braces
         chips = self._total_chips
         self._busy = [False] * chips
         self._idle = list(range(chips))
