@@ -323,8 +323,12 @@ class ResultCache:
     """Content-addressed on-disk cache of encoded cell results.
 
     Layout: ``<root>/<key[:2]>/<key>.json``, each file holding
-    ``{"schema": ..., "kind": ..., "result": <encoded result>}``.
-    Corrupt or unreadable entries count as misses.
+    ``{"schema": ..., "version": ..., "kind": ...,
+    "result": <encoded result>}``.  Corrupt or unreadable entries
+    count as misses, as do entries written by a different schema epoch
+    *or package version* — the key already hashes both, but validating
+    the payload too means a stale file can never serve an old-format
+    result even if the key construction changes.
     """
 
     def __init__(self, root: Optional[Path] = None) -> None:
@@ -347,7 +351,8 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
-        if payload.get("schema") != SCHEMA_VERSION:
+        if payload.get("schema") != SCHEMA_VERSION \
+                or payload.get("version") != __version__:
             self.misses += 1
             return None
         self.hits += 1
@@ -356,8 +361,8 @@ class ResultCache:
     def put(self, key: str, kind: str, encoded: Dict[str, Any]) -> None:
         """Persist an encoded result (atomic within one filesystem)."""
         path = self._path(key)
-        payload = {"schema": SCHEMA_VERSION, "kind": kind,
-                   "result": encoded}
+        payload = {"schema": SCHEMA_VERSION, "version": __version__,
+                   "kind": kind, "result": encoded}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")

@@ -78,7 +78,7 @@ def get(name: str) -> Experiment:
 CLI_ORDER = ("table1", "fig4", "fig8", "recovery", "ablation",
              "endurance", "scaling", "latency", "tlc", "qos_isolation",
              "fault_campaign", "scenario", "scenario_grid", "run",
-             "perfbench", "trace")
+             "serve", "perfbench", "trace")
 
 
 def all_experiments() -> List[Experiment]:
@@ -117,5 +117,6 @@ def load_all() -> None:
     import repro.scenarios.cli  # noqa: F401
     import repro.experiments.scenario_grid  # noqa: F401
     import repro.experiments.single_run  # noqa: F401
+    import repro.fleet.cli  # noqa: F401
     import repro.perfbench.cli  # noqa: F401
     import repro.observability.cli  # noqa: F401

@@ -385,12 +385,18 @@ def begin_measured_phase(controller: StorageController, ftl: BaseFtl,
 
 def scenario_host(sim: Simulator, controller: StorageController,
                   scenario: Scenario):
-    """The streaming host matching a scenario's delivery mode."""
+    """The streaming host matching a scenario's delivery mode.
+
+    The scenario handle is passed through so the host can rebuild its
+    iterators from the spec when it rides into a fleet snapshot.
+    """
     if scenario.mode == OPEN:
         return StreamingTraceReplayHost(sim, controller,
-                                        scenario.requests())
+                                        scenario.requests(),
+                                        scenario=scenario)
     return StreamingClosedLoopHost(sim, controller,
-                                   scenario.op_streams())
+                                   scenario.op_streams(),
+                                   scenario=scenario)
 
 
 def run_workload(

@@ -1,0 +1,60 @@
+"""Fleet simulation service: sharded devices with deterministic
+checkpoint/resume.
+
+The production-scale serving layer over the single-device simulator:
+
+* :mod:`repro.fleet.snapshot` — versioned snapshot files; a run
+  checkpointed at an event boundary resumes byte-identically.
+* :mod:`repro.fleet.device` — :class:`DeviceSpec` (declarative,
+  hashable) and :class:`DeviceRun` (live system; build / advance /
+  save / load / result).
+* :mod:`repro.fleet.shard` — deterministic device-to-worker ranges.
+* :mod:`repro.fleet.worker` — per-shard serving loop (round-robin
+  quanta, periodic checkpoints).
+* :mod:`repro.fleet.aggregate` — fleet-wide SLO/lifetime/WA rollups
+  and the fleet fingerprint.
+* :mod:`repro.fleet.service` — :func:`run_fleet`, the engine behind
+  the ``repro serve`` CLI (:mod:`repro.fleet.cli`).
+
+See ``docs/FLEET.md`` for the architecture and the snapshot format.
+"""
+
+from repro.fleet.aggregate import FleetReport
+from repro.fleet.device import DeviceRun, DeviceSpec
+from repro.fleet.service import (
+    FleetServeResult,
+    FleetSpec,
+    fleet_config,
+    run_fleet,
+)
+from repro.fleet.shard import shard_ranges
+from repro.fleet.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    read_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+from repro.fleet.worker import ShardTask, run_shard
+
+__all__ = [
+    "DeviceRun",
+    "DeviceSpec",
+    "FleetReport",
+    "FleetServeResult",
+    "FleetSpec",
+    "ShardTask",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMismatchError",
+    "fleet_config",
+    "read_snapshot",
+    "read_snapshot_header",
+    "run_fleet",
+    "run_shard",
+    "shard_ranges",
+    "write_snapshot",
+]

@@ -1,0 +1,229 @@
+"""Fleet-wide aggregation of per-device results.
+
+Merges the JSON-safe per-device result dicts
+(:meth:`repro.fleet.device.DeviceRun.result`) into one
+:class:`FleetReport`: run totals (events, requests, IOPS), lifetime
+proxies (erase totals / max / mean — the wear the paper's RPS argument
+is about), write amplification, per-tenant SLO rollups, and a fleet
+fingerprint (SHA-256 over the sorted per-device fingerprints) that
+makes "kill/resume changed nothing" a one-string comparison.
+
+Everything also lands in a labeled
+:class:`~repro.observability.metrics.MetricsRegistry`
+(:meth:`FleetReport.to_metrics`), so fleet serving reports through the
+same observability surface as single-device runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observability.metrics import MetricsRegistry
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    finite = [v for v in values
+              if v is not None and not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else None
+
+
+@dataclasses.dataclass
+class FleetReport:
+    """Aggregated outcome of one fleet pass.
+
+    ``device_results`` holds the raw per-device dicts in device-id
+    order; everything else is derived from them.
+    """
+
+    device_results: List[Dict[str, Any]]
+
+    def __post_init__(self) -> None:
+        self.device_results = sorted(self.device_results,
+                                     key=lambda r: r["device_id"])
+
+    # -- derived scalars -----------------------------------------------
+
+    @property
+    def devices(self) -> int:
+        return len(self.device_results)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.device_results if r["completed"])
+
+    @property
+    def checkpointed(self) -> int:
+        """Devices stopped mid-run (awaiting a resume)."""
+        return self.devices - self.completed
+
+    def totals(self) -> Dict[str, Any]:
+        """Fleet-wide sums and derived ratios."""
+        results = self.device_results
+        counters: Dict[str, int] = {}
+        for r in results:
+            for key, value in r["counters"].items():
+                counters[key] = counters.get(key, 0) + value
+        host = counters.get("host_programs", 0)
+        relocated = (host + counters.get("gc_programs", 0)
+                     + counters.get("backup_programs", 0))
+        erases = [r["erases"] for r in results]
+        iops = [r["iops"] for r in results if r["iops"] is not None]
+        return {
+            "devices": self.devices,
+            "completed_devices": self.completed,
+            "checkpointed_devices": self.checkpointed,
+            "events": sum(r["events"] for r in results),
+            "completed_requests": sum(r["completed_requests"]
+                                      for r in results),
+            "counters": counters,
+            "erases_total": sum(erases),
+            "erases_max": max(erases) if erases else 0,
+            "erases_mean": _mean(erases),
+            "write_amplification": (relocated / host if host
+                                    else None),
+            "iops_sum": sum(iops) if iops else None,
+            "iops_mean": _mean(iops),
+            "fingerprint": self.fingerprint(),
+        }
+
+    def per_tenant(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant rollup across every device serving the tenant.
+
+        Counts sum; p99s aggregate as the fleet-wide *worst* (max) and
+        mean — a per-device percentile cannot be re-percentiled
+        without the raw samples, and the max is the SLO-relevant
+        bound.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        p99s: Dict[str, Dict[str, List[float]]] = {}
+        for r in self.device_results:
+            for name, t in r.get("tenants", {}).items():
+                agg = merged.setdefault(name, {
+                    "devices": 0, "reads": 0, "writes": 0,
+                    "read_violations": 0, "write_violations": 0,
+                })
+                agg["devices"] += 1
+                agg["reads"] += t["reads"]
+                agg["writes"] += t["writes"]
+                agg["read_violations"] += t["read_violations"]
+                agg["write_violations"] += t["write_violations"]
+                samples = p99s.setdefault(name,
+                                          {"read": [], "write": []})
+                for side in ("read", "write"):
+                    value = t.get(f"{side}_p99")
+                    if value is not None and not math.isnan(value):
+                        samples[side].append(value)
+        for name, samples in p99s.items():
+            for side in ("read", "write"):
+                values = samples[side]
+                merged[name][f"{side}_p99_max"] = \
+                    max(values) if values else None
+                merged[name][f"{side}_p99_mean"] = _mean(values)
+        return merged
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the sorted per-device fingerprints.
+
+        Two fleet passes with equal fingerprints ran byte-identical
+        simulations on every device — the oracle the kill/resume tests
+        and the CI smoke job compare.
+        """
+        digest = hashlib.sha256()
+        for r in self.device_results:
+            digest.update(f"{r['device_id']}:{r['fingerprint']};"
+                          .encode("ascii"))
+        return digest.hexdigest()
+
+    # -- projections ---------------------------------------------------
+
+    def to_metrics(self,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> MetricsRegistry:
+        """Publish the aggregate into a labeled metrics registry."""
+        registry = registry or MetricsRegistry()
+        totals = self.totals()
+        registry.counter("fleet.devices").inc(totals["devices"])
+        registry.counter("fleet.devices_completed").inc(
+            totals["completed_devices"])
+        registry.counter("fleet.events").inc(totals["events"])
+        registry.counter("fleet.completed_requests").inc(
+            totals["completed_requests"])
+        registry.counter("fleet.erases").inc(totals["erases_total"])
+        for key, value in totals["counters"].items():
+            registry.counter("fleet.ftl", counter=key).inc(value)
+        if totals["write_amplification"] is not None:
+            registry.gauge("fleet.write_amplification").set(
+                totals["write_amplification"])
+        if totals["iops_sum"] is not None:
+            registry.gauge("fleet.iops_sum").set(totals["iops_sum"])
+        registry.gauge("fleet.erases_max").set(totals["erases_max"])
+        for r in self.device_results:
+            registry.histogram("fleet.device_erases").observe(
+                r["erases"])
+            if r["iops"] is not None:
+                registry.histogram("fleet.device_iops").observe(
+                    r["iops"])
+        for name, tenant in self.per_tenant().items():
+            registry.counter("fleet.tenant_reads",
+                             tenant=name).inc(tenant["reads"])
+            registry.counter("fleet.tenant_writes",
+                             tenant=name).inc(tenant["writes"])
+            registry.counter(
+                "fleet.tenant_read_violations",
+                tenant=name).inc(tenant["read_violations"])
+            registry.counter(
+                "fleet.tenant_write_violations",
+                tenant=name).inc(tenant["write_violations"])
+            if tenant.get("write_p99_max") is not None:
+                registry.gauge("fleet.tenant_write_p99_max",
+                               tenant=name).set(
+                    tenant["write_p99_max"])
+        return registry
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe report (``--json`` / CI assertions)."""
+        return {
+            "totals": self.totals(),
+            "tenants": self.per_tenant(),
+            "devices": self.device_results,
+        }
+
+    def render(self) -> str:
+        """Human-readable fleet report."""
+        totals = self.totals()
+        lines = [
+            "fleet report",
+            f"  devices            {totals['devices']}"
+            f" ({totals['completed_devices']} completed,"
+            f" {totals['checkpointed_devices']} checkpointed)",
+            f"  events             {totals['events']}",
+            f"  completed requests {totals['completed_requests']}",
+            f"  erases             {totals['erases_total']}"
+            f" (max {totals['erases_max']} /"
+            f" mean {totals['erases_mean'] or 0:.1f} per device)",
+        ]
+        if totals["write_amplification"] is not None:
+            lines.append(f"  write amplification"
+                         f" {totals['write_amplification']:.3f}")
+        if totals["iops_sum"] is not None:
+            lines.append(f"  aggregate IOPS     "
+                         f"{totals['iops_sum']:.0f}")
+        tenants = self.per_tenant()
+        if tenants:
+            lines.append("  tenants")
+            for name, t in tenants.items():
+                p99 = t.get("write_p99_max")
+                p99_text = f"{p99 * 1e3:.3f} ms" if p99 is not None \
+                    else "-"
+                lines.append(
+                    f"    {name:<12} devices {t['devices']:>4}  "
+                    f"r/w {t['reads']}/{t['writes']}  "
+                    f"viol {t['read_violations']}"
+                    f"/{t['write_violations']}  "
+                    f"worst write p99 {p99_text}")
+        lines.append(f"  fingerprint        "
+                     f"{totals['fingerprint'][:16]}…")
+        return "\n".join(lines)

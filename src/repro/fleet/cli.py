@@ -1,0 +1,123 @@
+"""The ``repro serve`` CLI command: fleet simulation service.
+
+Serves a fleet of simulated devices — sharded across worker
+processes, optionally fronted by per-tenant QoS queues — with
+deterministic checkpoint/resume:
+
+    repro serve --devices 1000 --jobs 4 --tenants 4
+    repro serve --devices 64 --checkpoint-dir ckpt \\
+                --stop-after-events 3000        # "kill" mid-run
+    repro serve --devices 64 --checkpoint-dir ckpt --resume
+
+The second and third invocations together produce a report
+byte-identical (equal fleet fingerprint) to the first run without the
+stop — that equality is asserted by tests and the CI fleet smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import registry
+from repro.experiments.engine import EngineOptions
+from repro.experiments.runner import FTL_REGISTRY
+from repro.fleet.service import (
+    FleetServeResult,
+    FleetSpec,
+    fleet_config,
+    run_fleet,
+)
+from repro.qos.arbiter import ARBITERS
+from repro.scenarios.presets import PRESETS
+
+
+def _cli_arguments(parser) -> None:
+    parser.add_argument("--devices", type=int, default=64,
+                        help="simulated device count")
+    parser.add_argument("--ftl", default="flexFTL",
+                        help="FTL every device runs")
+    parser.add_argument("--preset", default="oltp",
+                        help="workload preset per device")
+    parser.add_argument("--ops", type=int, default=400,
+                        help="measured ops per device")
+    parser.add_argument("--footprint", type=int, default=None,
+                        help="logical pages per device workload "
+                             "(default: 60%% of the FTL's space)")
+    parser.add_argument("--tenants", type=int, default=0,
+                        help="tenant count (>0 serves through the QoS "
+                             "front-end)")
+    parser.add_argument("--arbiter", default="wrr",
+                        help="QoS arbitration policy for tenanted "
+                             "fleets")
+    parser.add_argument("--kernel", default="calendar",
+                        choices=("calendar", "heap"),
+                        help="event-queue kernel per device")
+    parser.add_argument("--stepping", default="auto",
+                        help="chip stepping mode per device")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="snapshot directory (enables "
+                             "checkpointing)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume devices from snapshots in "
+                             "--checkpoint-dir")
+    parser.add_argument("--stop-after-events", type=int, default=None,
+                        help="checkpoint and stop each device after "
+                             "this many measured events")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="periodic checkpoint interval in events")
+
+
+def _cli_run(args, engine_options: EngineOptions
+             ) -> FleetServeResult:
+    if args.ftl not in FTL_REGISTRY:
+        raise registry.CliError(
+            f"unknown FTL {args.ftl!r}; choose from "
+            f"{sorted(FTL_REGISTRY)}")
+    if args.preset not in PRESETS:
+        raise registry.CliError(
+            f"unknown preset {args.preset!r}; choose from "
+            f"{sorted(PRESETS)}")
+    if args.tenants > 0 and args.arbiter not in ARBITERS:
+        raise registry.CliError(
+            f"unknown arbiter {args.arbiter!r}; choose from "
+            f"{sorted(ARBITERS)}")
+    if args.resume and args.checkpoint_dir is None:
+        raise registry.CliError(
+            "--resume needs --checkpoint-dir")
+    fleet = FleetSpec(
+        devices=args.devices,
+        ftl_name=args.ftl,
+        preset=args.preset,
+        ops_per_device=args.ops,
+        footprint=args.footprint,
+        tenants=args.tenants,
+        arbiter=args.arbiter,
+        seed=args.seed,
+        config=fleet_config(kernel=args.kernel,
+                            stepping=args.stepping),
+    )
+    return run_fleet(
+        fleet,
+        jobs=engine_options.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        stop_after_events=args.stop_after_events,
+        checkpoint_every=args.checkpoint_every,
+        cache=engine_options.cache,
+    )
+
+
+def _cli_to_dict(result: FleetServeResult) -> Dict[str, object]:
+    return result.to_dict()
+
+
+registry.register(registry.Experiment(
+    name="serve",
+    help="fleet simulation service (sharded devices, "
+         "checkpoint/resume)",
+    add_arguments=_cli_arguments,
+    run=_cli_run,
+    render=lambda result: result.render(),
+    to_dict=_cli_to_dict,
+    parallel=True,
+))

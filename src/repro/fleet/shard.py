@@ -1,0 +1,50 @@
+"""Deterministic device-to-worker sharding.
+
+Contiguous near-equal ranges: devices ``[0, n)`` split across ``w``
+workers, earlier shards taking the remainder.  Contiguity keeps shard
+membership — and therefore which worker produces which checkpoint
+file — a pure function of ``(devices, workers)``, so a resumed fleet
+re-derives exactly the same layout and every worker finds its own
+checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def shard_ranges(devices: int, workers: int) -> List[Tuple[int, int]]:
+    """``[(start, stop), ...]`` device ranges, one per non-empty shard.
+
+    ``workers`` is a ceiling: more workers than devices yields one
+    single-device shard per device.
+    """
+    if devices < 0:
+        raise ValueError(f"devices must be >= 0, got {devices}")
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    workers = min(workers, devices) or (1 if devices else 0)
+    base, extra = divmod(devices, workers) if workers else (0, 0)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def shard_of(device_id: int, devices: int, workers: int) -> int:
+    """The shard index owning ``device_id`` under :func:`shard_ranges`."""
+    for index, (start, stop) in enumerate(shard_ranges(devices,
+                                                       workers)):
+        if start <= device_id < stop:
+            return index
+    raise ValueError(
+        f"device {device_id} outside fleet of {devices} devices")
+
+
+def split(items: Sequence, workers: int) -> List[Sequence]:
+    """The items of each shard, in shard order."""
+    return [items[start:stop]
+            for start, stop in shard_ranges(len(items), workers)]

@@ -1,0 +1,197 @@
+"""Versioned snapshot files for deterministic checkpoint/resume.
+
+A snapshot is the *entire* live object graph of one simulated device
+— kernel pending events, NAND array state, FTL mapping and 2PO state,
+RNG states, SimStats, fault-injector cursors and host/scenario cursors
+— pickled in one piece so every cross-reference (shared cancellation
+cells, bound-method callbacks, aliased stats objects) survives with
+identity intact.  A run checkpointed at an event boundary and resumed
+from the file is byte-identical to the uninterrupted run; the tests in
+``tests/test_fleet_snapshot.py`` assert exactly that, per kernel and
+per FTL.
+
+File layout (all integers big-endian)::
+
+    8 bytes   magic  b"RPROSNAP"
+    4 bytes   JSON header length
+    N bytes   JSON header (UTF-8)
+    rest      pickle payload
+
+The header is readable without unpickling anything: it names the
+snapshot format version, the package version that wrote the file, the
+simulation kernel (``calendar``/``heap``) and stepping mode, and a
+SHA-256 over the payload so truncation or corruption is detected
+before the unpickler ever runs.  Resuming under a mismatched kernel is
+refused with a clear error — pending-event layouts differ between
+kernels, so a silent cross-load could never be byte-faithful.
+
+Snapshot files are pickles: load them only from paths you (or your
+own checkpointing run) wrote, never from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import pickle
+import struct
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+
+#: First 8 bytes of every snapshot file.
+SNAPSHOT_MAGIC = b"RPROSNAP"
+
+#: Bump when the header schema or payload contract changes; a reader
+#: refuses files written under a different format version.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_LEN = struct.Struct(">I")
+
+
+class SnapshotError(Exception):
+    """Base class for snapshot read/write failures."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, is corrupt, or is too new/old."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """The snapshot is valid but incompatible with the resume context
+    (e.g. it was written under a different simulation kernel)."""
+
+
+def write_snapshot(path: "Path | str", payload: Any,
+                   header: Dict[str, Any]) -> Dict[str, Any]:
+    """Write ``payload`` (pickled) under a versioned header.
+
+    ``header`` must carry at least ``kernel`` and ``stepping``; the
+    format version, package version, payload digest and payload length
+    are filled in here.  The write is atomic (temp file + rename), so
+    a kill mid-checkpoint leaves the previous snapshot intact.
+    Returns the full header as written.
+    """
+    path = Path(path)
+    for field in ("kernel", "stepping"):
+        if field not in header:
+            raise ValueError(f"snapshot header needs {field!r}")
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    full = dict(header)
+    full["format_version"] = SNAPSHOT_FORMAT_VERSION
+    full["package_version"] = __version__
+    full["payload_bytes"] = len(blob)
+    full["payload_sha256"] = hashlib.sha256(blob).hexdigest()
+    header_bytes = json.dumps(full, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(SNAPSHOT_MAGIC)
+        handle.write(_LEN.pack(len(header_bytes)))
+        handle.write(header_bytes)
+        handle.write(blob)
+    tmp.replace(path)
+    return full
+
+
+def _read_header(handle: io.BufferedReader,
+                 path: Path) -> Dict[str, Any]:
+    magic = handle.read(len(SNAPSHOT_MAGIC))
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotFormatError(
+            f"{path} is not a snapshot file (bad magic {magic!r})")
+    raw_len = handle.read(_LEN.size)
+    if len(raw_len) != _LEN.size:
+        raise SnapshotFormatError(f"{path} is truncated (no header)")
+    (header_len,) = _LEN.unpack(raw_len)
+    header_bytes = handle.read(header_len)
+    if len(header_bytes) != header_len:
+        raise SnapshotFormatError(
+            f"{path} is truncated (header cut short)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except ValueError as exc:
+        raise SnapshotFormatError(
+            f"{path} has a corrupt header: {exc}") from exc
+    version = header.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"{path} uses snapshot format {version!r}; this build "
+            f"reads format {SNAPSHOT_FORMAT_VERSION}")
+    return header
+
+
+def read_snapshot_header(path: "Path | str") -> Dict[str, Any]:
+    """The JSON header of a snapshot, without touching the payload."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        return _read_header(handle, path)
+
+
+def read_snapshot(
+    path: "Path | str",
+    expect_kernel: Optional[str] = None,
+    expect_stepping: Optional[str] = None,
+) -> Tuple[Dict[str, Any], Any]:
+    """Load ``(header, payload)``, verifying integrity and context.
+
+    Args:
+        path: snapshot file.
+        expect_kernel: when given, the resume context's kernel; a
+            mismatch raises :class:`SnapshotMismatchError` instead of
+            resuming a calendar-queue event set onto a heap (or vice
+            versa).
+        expect_stepping: same, for the chip-stepping mode.
+
+    A package-version skew (file written by a different release) is
+    not fatal — pickles usually survive small releases — but it is
+    surfaced as a :class:`UserWarning` so a byte-identity claim is
+    never silently made across versions.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = _read_header(handle, path)
+        blob = handle.read()
+    expected_len = header.get("payload_bytes")
+    if expected_len is not None and len(blob) != expected_len:
+        raise SnapshotFormatError(
+            f"{path} is truncated: payload is {len(blob)} bytes, "
+            f"header promises {expected_len}")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise SnapshotFormatError(
+            f"{path} failed its integrity check (payload digest "
+            f"mismatch); the file is corrupt")
+    if expect_kernel is not None \
+            and header.get("kernel") != expect_kernel:
+        raise SnapshotMismatchError(
+            f"{path} was checkpointed under the "
+            f"{header.get('kernel')!r} kernel but this run resumes "
+            f"under {expect_kernel!r}; pending-event layouts differ "
+            f"between kernels, so resume is refused.  Re-run with "
+            f"kernel={header.get('kernel')!r} (or restart from "
+            f"scratch under the new kernel).")
+    if expect_stepping is not None \
+            and header.get("stepping") != expect_stepping:
+        raise SnapshotMismatchError(
+            f"{path} was checkpointed with stepping="
+            f"{header.get('stepping')!r} but this run resumes with "
+            f"stepping={expect_stepping!r}; refuse rather than risk "
+            f"divergence.  Re-run with the snapshot's stepping mode.")
+    written_by = header.get("package_version")
+    if written_by != __version__:
+        warnings.warn(
+            f"{path} was written by repro {written_by}, loading "
+            f"under {__version__}; resume should work but "
+            f"byte-identity across versions is not guaranteed",
+            UserWarning, stacklevel=2)
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise SnapshotFormatError(
+            f"{path} payload failed to unpickle: {exc}") from exc
+    return header, payload

@@ -1,0 +1,134 @@
+"""Per-shard worker: build or resume devices, serve, checkpoint.
+
+A :class:`ShardTask` is the picklable unit the fleet service submits
+to a process pool; :func:`run_shard` is the pool entry point.  Each
+worker owns a contiguous device range (:mod:`repro.fleet.shard`),
+round-robins its devices in bounded event quanta (so thousands of
+devices advance fairly instead of serially), checkpoints unfinished
+devices to a versioned snapshot file at every event-budget boundary,
+and returns JSON-safe per-device results for fleet aggregation.
+
+Determinism: devices are independent simulations, so neither the
+round-robin interleaving nor process boundaries affect any outcome —
+a shard run inline, on a pool, or killed and resumed produces the
+same per-device fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.device import DeviceRun, DeviceSpec
+
+#: Default per-device event quantum for round-robin serving.
+DEFAULT_QUANTUM = 4096
+
+
+def checkpoint_path(checkpoint_dir: "Path | str",
+                    device_id: int) -> Path:
+    """Canonical snapshot path of one device (stable across resumes)."""
+    return Path(checkpoint_dir) / f"device-{device_id:06d}.snap"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, as plain picklable data.
+
+    Attributes:
+        shard_index: which shard this is (labels and reports only).
+        specs: the shard's device specs, in device-id order.
+        checkpoint_dir: snapshot directory, or None to disable
+            checkpointing entirely.
+        resume: load existing snapshots instead of rebuilding.
+        stop_after_events: stop each device after this many *measured*
+            events and checkpoint it (deterministic mid-run stop — the
+            kill/resume tests and the CI smoke job use it); None runs
+            to completion.
+        checkpoint_every: events between periodic checkpoints of a
+            still-running device (crash durability); None checkpoints
+            only at stop.
+        quantum: round-robin event quantum per device per turn.
+    """
+
+    shard_index: int
+    specs: Tuple[DeviceSpec, ...]
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    stop_after_events: Optional[int] = None
+    checkpoint_every: Optional[int] = None
+    quantum: int = DEFAULT_QUANTUM
+
+
+def run_shard(task: ShardTask) -> Dict[str, Any]:
+    """Serve one shard to completion (or its stop point).
+
+    Returns ``{"shard": ..., "results": [...], "resumed": n,
+    "checkpoints": n}`` with one result dict per device, in device-id
+    order.
+    """
+    runs: List[DeviceRun] = []
+    resumed = 0
+    for spec in task.specs:
+        run = None
+        if task.resume and task.checkpoint_dir is not None:
+            path = checkpoint_path(task.checkpoint_dir,
+                                   spec.device_id)
+            if path.exists():
+                run = DeviceRun.load(path, expect_config=spec.config)
+                resumed += 1
+        if run is None:
+            run = DeviceRun.build(spec)
+        runs.append(run)
+
+    checkpoints = 0
+    since_checkpoint = {run.spec.device_id: 0 for run in runs}
+    stop = task.stop_after_events
+    pending = [run for run in runs if not run.done
+               and (stop is None or run.measured_events < stop)]
+    while pending:
+        still: List[DeviceRun] = []
+        for run in pending:
+            budget = task.quantum
+            if stop is not None:
+                budget = min(budget, stop - run.measured_events)
+            processed = run.advance(budget)
+            device_id = run.spec.device_id
+            since_checkpoint[device_id] += processed
+            live = not run.done and (stop is None
+                                     or run.measured_events < stop)
+            if live:
+                still.append(run)
+            if live and task.checkpoint_every is not None \
+                    and task.checkpoint_dir is not None \
+                    and since_checkpoint[device_id] \
+                    >= task.checkpoint_every:
+                run.save(checkpoint_path(task.checkpoint_dir,
+                                         device_id))
+                checkpoints += 1
+                since_checkpoint[device_id] = 0
+        pending = still
+
+    results: List[Dict[str, Any]] = []
+    for run in runs:
+        if not run.done and task.checkpoint_dir is not None:
+            run.save(checkpoint_path(task.checkpoint_dir,
+                                     run.spec.device_id))
+            checkpoints += 1
+        elif run.done and task.checkpoint_dir is not None:
+            # A completed device's stale mid-run snapshot must not
+            # survive: a later resume would silently replay it.
+            stale = checkpoint_path(task.checkpoint_dir,
+                                    run.spec.device_id)
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        results.append(run.result())
+    return {
+        "shard": task.shard_index,
+        "results": results,
+        "resumed": resumed,
+        "checkpoints": checkpoints,
+    }

@@ -320,6 +320,32 @@ class NandArray:
         """Total page reads across all dies."""
         return sum(chip.reads for chip in self.chips)
 
+    # ------------------------------------------------------------------
+    # snapshot support
+
+    def __getstate__(self) -> dict:
+        """Pickle support for the unified state store.
+
+        The flat buffer and its numpy view alias every block's
+        ``_states`` memoryview; pickle cannot preserve buffer aliasing
+        (numpy arrays deep-copy), so drop both and record only that
+        unification was on.  Blocks flatten their own views to
+        bytearrays (:meth:`repro.nand.block.Block.__getstate__`), and
+        ``__setstate__`` re-unifies from those — same layout, same
+        contents.
+        """
+        state = self.__dict__.copy()
+        state["_np_states"] = None
+        state["_state_store"] = None
+        state["_was_unified"] = self._np_states is not None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        was_unified = state.pop("_was_unified", False)
+        self.__dict__.update(state)
+        if was_unified:
+            self.unify_state_store()
+
     def page_type_of(self, addr: PhysicalPageAddress) -> PageType:
         """Page type (LSB/MSB) of the page at ``addr``."""
         return split_index(addr.page)[1]

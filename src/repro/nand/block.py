@@ -209,6 +209,21 @@ class Block:
         if self._data is not None:
             self._data[index] = None
 
+    def __getstate__(self) -> dict:
+        """Pickle support: flatten a unified-store memoryview.
+
+        After :meth:`repro.nand.array.NandArray.unify_state_store`,
+        ``_states`` is a memoryview slice of the device-wide store;
+        memoryviews do not pickle, so snapshot the bytes and let the
+        array re-unify on restore (its own ``__setstate__`` runs after
+        the blocks').
+        """
+        state = self.__dict__.copy()
+        states = state["_states"]
+        if type(states) is not bytearray:
+            state["_states"] = bytearray(states)
+        return state
+
     def __repr__(self) -> str:
         return (
             f"Block(id={self.block_id}, state={self.state.value}, "

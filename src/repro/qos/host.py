@@ -84,6 +84,32 @@ class TenantSpec:
                          write_latency=self.write_slo)
 
 
+class TenantCompletion:
+    """Completion callback advancing one tenant stream.
+
+    A plain class (not a lambda) so a host mid-run — callbacks on
+    in-flight requests included — pickles into a fleet snapshot.
+    """
+
+    __slots__ = ("host", "tenant", "stream", "think")
+
+    def __init__(self, host: "MultiTenantHost", tenant: int,
+                 stream: int, think: float) -> None:
+        self.host = host
+        self.tenant = tenant
+        self.stream = stream
+        self.think = think
+
+    def __call__(self, _req, _now) -> None:
+        self.host._on_done(self.tenant, self.stream, self.think)
+
+    def __getstate__(self):
+        return (self.host, self.tenant, self.stream, self.think)
+
+    def __setstate__(self, state) -> None:
+        self.host, self.tenant, self.stream, self.think = state
+
+
 class MultiTenantHost:
     """Multiplexes per-tenant closed-loop workloads through QoS queues.
 
@@ -206,9 +232,8 @@ class MultiTenantHost:
         now = self.sim.now
         request = Request(now, op.kind, op.lpn, op.npages,
                           tenant=spec.name)
-        request.on_complete = \
-            lambda _req, _now, t=t_index, s=s_index, \
-            think=op.think_after: self._on_done(t, s, think)
+        request.on_complete = TenantCompletion(self, t_index, s_index,
+                                               op.think_after)
         self.queues[t_index].push(request, self._seq, now)
         self._seq += 1
         if self._trace is not None:

@@ -123,6 +123,30 @@ class TenantAccount:
         }
 
 
+class _ChainedHook:
+    """Two completion hooks in sequence, as a picklable object.
+
+    A local closure would work but could not ride into a fleet
+    snapshot; this class pickles along with the controller.
+    """
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second) -> None:
+        self.first = first
+        self.second = second
+
+    def __call__(self, request: Request, now: float) -> None:
+        self.first(request, now)
+        self.second(request, now)
+
+    def __getstate__(self):
+        return (self.first, self.second)
+
+    def __setstate__(self, state) -> None:
+        self.first, self.second = state
+
+
 class SloAccountant:
     """Routes completed requests into per-tenant accounts.
 
@@ -167,13 +191,7 @@ class SloAccountant:
         if previous is None:
             controller.completion_hook = self.record
             return
-
-        def chained(request: Request, now: float,
-                    _previous=previous) -> None:
-            _previous(request, now)
-            self.record(request, now)
-
-        controller.completion_hook = chained
+        controller.completion_hook = _ChainedHook(previous, self.record)
 
     def summary(self) -> Dict[str, Dict[str, object]]:
         """Per-tenant summaries, in tenant registration order."""

@@ -81,6 +81,32 @@ class StreamOp:
     think_after: float = 0.0
 
 
+class StreamCompletion:
+    """Completion callback that advances one closed-loop stream.
+
+    A plain class (not a lambda) so a host mid-run — including the
+    callbacks attached to in-flight requests — pickles into a fleet
+    snapshot.  The pickle memo keeps ``host`` pointing at the one
+    host instance shared by every callback.
+    """
+
+    __slots__ = ("host", "index", "think")
+
+    def __init__(self, host, index: int, think: float) -> None:
+        self.host = host
+        self.index = index
+        self.think = think
+
+    def __call__(self, _req, _now) -> None:
+        self.host._advance(self.index, self.think)
+
+    def __getstate__(self):
+        return (self.host, self.index, self.think)
+
+    def __setstate__(self, state) -> None:
+        self.host, self.index, self.think = state
+
+
 class ClosedLoopHost:
     """Synchronous worker streams (Sysbench/Filebench-style load).
 
@@ -113,9 +139,7 @@ class ClosedLoopHost:
         op = self.streams[index][self._cursor[index]]
         request = Request(self.sim.now, op.kind, op.lpn, op.npages,
                           tenant=self.tenant)
-        request.on_complete = \
-            lambda _req, _now, i=index, think=op.think_after: \
-            self._advance(i, think)
+        request.on_complete = StreamCompletion(self, index, op.think_after)
         self.controller.submit(request)
 
     def _advance(self, index: int, think: float) -> None:

@@ -1,0 +1,352 @@
+"""Checkpoint/resume determinism: snapshot → resume == uninterrupted.
+
+The fleet's backbone claim is byte-identity: a run checkpointed at an
+arbitrary event boundary and resumed produces exactly the same
+SimStats, FTL counters and clock as the run that never stopped.  These
+tests assert it per kernel (calendar and heap), per FTL (pageFTL and
+flexFTL), for vector stepping, for a QoS-fronted device, and for a
+snapshot taken *between* the multi-cut power losses of the PR-4
+machinery.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, scenario_host
+from repro.faults.recovery import recover_after_power_loss
+from repro.fleet.device import DeviceRun, DeviceSpec
+from repro.fleet.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    read_snapshot,
+    read_snapshot_header,
+    write_snapshot,
+)
+from repro.nand.geometry import NandGeometry
+from repro.scenarios.base import TenantBinding
+from repro.scenarios.presets import make_preset
+from repro.sim.powerloss import ScheduledPowerLoss
+
+GEOMETRY = NandGeometry(channels=2, chips_per_channel=1,
+                        blocks_per_chip=16, pages_per_block=16,
+                        page_size=4096)
+
+
+def config_for(kernel="calendar", stepping="auto"):
+    return ExperimentConfig(geometry=GEOMETRY, track_history=False,
+                            kernel=kernel, stepping=stepping)
+
+
+def spec_for(kernel="calendar", stepping="auto", ftl="flexFTL",
+             tenants=0, device_id=0, ops=240, seed=11):
+    scenario = make_preset("oltp", footprint=96, total_ops=ops,
+                           seed=seed)
+    spec = scenario.spec()
+    if tenants:
+        streams = int(spec["streams"])
+        base, extra = divmod(streams, tenants)
+        spec["tenants"] = [
+            TenantBinding(name=f"t{i}",
+                          streams=base + (1 if i < extra else 0)
+                          ).to_dict()
+            for i in range(tenants)
+        ]
+    return DeviceSpec(
+        device_id=device_id,
+        ftl_name=ftl,
+        scenario=spec,
+        config=config_for(kernel, stepping),
+        arbiter="wrr" if tenants else None,
+    )
+
+
+def surface(run):
+    """The full byte-comparable trace surface of a device run."""
+    return json.dumps(
+        {"stats": run.controller.stats.to_dict(),
+         "counters": dict(run.ftl.counters()),
+         "now": repr(run.sim.now),
+         "events": run.sim.processed,
+         "erases": run.array.total_erases},
+        sort_keys=True)
+
+
+class TestDeviceRoundTrip:
+    @pytest.mark.parametrize("kernel", ["calendar", "heap"])
+    @pytest.mark.parametrize("ftl", ["pageFTL", "flexFTL"])
+    def test_resume_equals_uninterrupted(self, tmp_path, kernel, ftl):
+        spec = spec_for(kernel=kernel, ftl=ftl)
+
+        oracle = DeviceRun.build(spec)
+        oracle.run_to_completion()
+
+        run = DeviceRun.build(spec)
+        run.advance(700)
+        assert not run.done  # mid-run: the checkpoint is non-trivial
+        path = tmp_path / "dev.snap"
+        header = run.save(path)
+        assert header["kernel"] == kernel
+        assert header["format_version"] == SNAPSHOT_FORMAT_VERSION
+
+        resumed = DeviceRun.load(path, expect_config=spec.config)
+        resumed.run_to_completion()
+
+        assert surface(resumed) == surface(oracle)
+        assert resumed.fingerprint() == oracle.fingerprint()
+
+    @pytest.mark.parametrize("kernel", ["calendar", "heap"])
+    def test_interrupted_continues_like_original(self, tmp_path,
+                                                 kernel):
+        """The snapshot does not perturb the run it was taken from."""
+        spec = spec_for(kernel=kernel)
+        run = DeviceRun.build(spec)
+        run.advance(500)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        run.run_to_completion()
+
+        resumed = DeviceRun.load(path, expect_config=spec.config)
+        resumed.run_to_completion()
+        assert surface(resumed) == surface(run)
+
+    def test_vector_stepping_roundtrip(self, tmp_path):
+        spec = spec_for(stepping="vector")
+        oracle = DeviceRun.build(spec)
+        oracle.run_to_completion()
+
+        run = DeviceRun.build(spec)
+        run.advance(600)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        resumed = DeviceRun.load(path, expect_config=spec.config)
+        # The unified store (numpy view + memoryview slices) must be
+        # re-established, aliasing intact.
+        assert resumed.array._np_states is not None
+        blk = resumed.array.chips[0].blocks[0]
+        assert type(blk._states) is not bytearray
+        resumed.run_to_completion()
+        assert surface(resumed) == surface(oracle)
+
+    def test_qos_device_roundtrip(self, tmp_path):
+        spec = spec_for(tenants=2, ops=200)
+        oracle = DeviceRun.build(spec)
+        oracle.run_to_completion()
+
+        run = DeviceRun.build(spec)
+        run.advance(400)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        resumed = DeviceRun.load(path, expect_config=spec.config)
+        resumed.run_to_completion()
+
+        assert surface(resumed) == surface(oracle)
+        assert (resumed.host.accountant.summary()
+                == oracle.host.accountant.summary())
+        assert resumed.result() == oracle.result()
+
+
+class TestHeaderValidation:
+    def test_kernel_mismatch_refused(self, tmp_path):
+        spec = spec_for(kernel="calendar")
+        run = DeviceRun.build(spec)
+        run.advance(200)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        with pytest.raises(SnapshotMismatchError,
+                           match="calendar.*heap|heap.*calendar"):
+            DeviceRun.load(path,
+                           expect_config=config_for(kernel="heap"))
+
+    def test_stepping_mismatch_refused(self, tmp_path):
+        spec = spec_for(stepping="batch")
+        run = DeviceRun.build(spec)
+        run.advance(200)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        with pytest.raises(SnapshotMismatchError, match="stepping"):
+            DeviceRun.load(path,
+                           expect_config=config_for(stepping="event"))
+
+    def test_auto_and_event_stepping_compatible(self, tmp_path):
+        """'auto' resolves to event stepping; the two spellings must
+        resume each other."""
+        run = DeviceRun.build(spec_for(stepping="auto"))
+        run.advance(200)
+        path = tmp_path / "dev.snap"
+        header = run.save(path)
+        assert header["stepping"] == "event"
+        DeviceRun.load(path,
+                       expect_config=config_for(stepping="event"))
+
+    def test_header_readable_without_payload(self, tmp_path):
+        run = DeviceRun.build(spec_for())
+        run.advance(300)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        header = read_snapshot_header(path)
+        assert header["kind"] == "device_run"
+        assert header["events"] == run.sim.processed
+        assert header["device_id"] == 0
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        run = DeviceRun.build(spec_for())
+        run.advance(200)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotFormatError, match="integrity"):
+            DeviceRun.load(path)
+
+    def test_truncation_detected(self, tmp_path):
+        run = DeviceRun.build(spec_for())
+        run.advance(200)
+        path = tmp_path / "dev.snap"
+        run.save(path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            DeviceRun.load(path)
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b"definitely not a snapshot file")
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            read_snapshot_header(path)
+
+    def test_version_skew_warns(self, tmp_path):
+        path = tmp_path / "skew.snap"
+        write_snapshot(path, {"x": 1},
+                       {"kernel": "calendar", "stepping": "event"})
+        blob = path.read_bytes()
+        # Rewrite the header with a foreign package version.
+        import struct
+        magic_len = 8
+        (hlen,) = struct.unpack(">I",
+                                blob[magic_len:magic_len + 4])
+        header = json.loads(blob[magic_len + 4:magic_len + 4 + hlen])
+        header["package_version"] = "0.0.0-elsewhere"
+        hbytes = json.dumps(header, sort_keys=True,
+                            separators=(",", ":")).encode()
+        path.write_bytes(blob[:magic_len]
+                         + struct.pack(">I", len(hbytes)) + hbytes
+                         + blob[magic_len + 4 + hlen:])
+        with pytest.warns(UserWarning, match="0.0.0-elsewhere"):
+            read_snapshot(path)
+
+
+class TestSnapshotBetweenPowerCuts:
+    def test_between_cuts_resume_matches(self, tmp_path):
+        """A checkpoint taken after the first power-loss recovery and
+        before the second cut resumes into an identical end state —
+        the PR-4 multi-cut machinery (armed cut event, recovery state,
+        resumed host) all rides in the snapshot."""
+        from repro.experiments.runner import (
+            begin_measured_phase,
+            build_system,
+            warmup_device,
+        )
+        from repro.scenarios.base import scenario_from_spec
+
+        def build():
+            config = config_for()
+            scenario = scenario_from_spec(
+                make_preset("oltp", footprint=96, total_ops=300,
+                            seed=4).spec())
+            sim, array, buffer, ftl, controller = build_system(
+                "flexFTL", config)
+            warmup_device(sim, controller, ftl, config,
+                          footprint=scenario.footprint)
+            begin_measured_phase(controller, ftl, config)
+            host = scenario_host(sim, controller, scenario)
+            power = ScheduledPowerLoss(
+                sim, controller,
+                at_times=[sim.now + 0.004, sim.now + 0.012])
+            host.start()
+            return sim, array, ftl, controller, host, power
+
+        def run_through_cuts(state, recovered):
+            sim, array, ftl, controller, host, power = state
+            while True:
+                sim.run()
+                if len(power.reports) <= recovered:
+                    break
+                report = power.reports[recovered]
+                recover_after_power_loss(controller, report)
+                recovered += 1
+                host.resume()
+                power.arm_next()
+                controller._pump()
+            return recovered
+
+        # Oracle: straight through both cuts.
+        oracle = build()
+        cuts = run_through_cuts(oracle, 0)
+        assert cuts == 2  # both cuts fired
+
+        # Interrupted: run to the first cut, recover, checkpoint.
+        state = build()
+        sim, array, ftl, controller, host, power = state
+        sim.run()
+        assert len(power.reports) == 1
+        recover_after_power_loss(controller, power.reports[0])
+        host.resume()
+        power.arm_next()
+        controller._pump()
+        path = tmp_path / "mid.snap"
+        write_snapshot(
+            path,
+            {"state": state, "recovered": 1},
+            {"kernel": "calendar", "stepping": "event"})
+
+        _header, payload = read_snapshot(path,
+                                         expect_kernel="calendar")
+        resumed = payload["state"]
+        run_through_cuts(resumed, payload["recovered"])
+
+        def end_state(s):
+            sim, array, ftl, controller, host, power = s
+            return json.dumps(
+                {"stats": controller.stats.to_dict(),
+                 "counters": dict(ftl.counters()),
+                 "now": repr(sim.now),
+                 "erases": array.total_erases,
+                 "cuts": len(power.reports)},
+                sort_keys=True)
+
+        assert end_state(resumed) == end_state(oracle)
+
+
+class TestHostPicklability:
+    def test_streaming_host_without_scenario_refuses(self):
+        import pickle
+
+        from repro.experiments.runner import build_system
+        from repro.scenarios.host import StreamingClosedLoopHost
+
+        sim, _a, _b, _f, controller = build_system("pageFTL",
+                                                   config_for())
+        scenario = make_preset("oltp", footprint=64, total_ops=50,
+                               seed=1)
+        host = StreamingClosedLoopHost(sim, controller,
+                                       scenario.op_streams())
+        host.start()
+        with pytest.raises(TypeError, match="scenario"):
+            pickle.dumps(host)
+
+    def test_tracer_blocks_snapshot(self, tmp_path):
+        from repro.fleet.snapshot import SnapshotError
+        from repro.observability.tracer import Tracer
+
+        run = DeviceRun.build(spec_for())
+        tracer = Tracer()
+        tracer.install(run.controller)
+        try:
+            with pytest.raises(SnapshotError, match="tracer"):
+                run.save(tmp_path / "dev.snap")
+        finally:
+            tracer.detach()
+        # Detached again, the device snapshots fine.
+        run.save(tmp_path / "dev.snap")
