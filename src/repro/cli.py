@@ -16,10 +16,13 @@ Dispatch is table-driven: every experiment module registers an
 :class:`~repro.experiments.registry.Experiment` (name, argparse spec,
 run, render) in the :data:`~repro.experiments.registry
 .EXPERIMENT_REGISTRY`, and this module is a single loop over the
-table.  Three global flags apply to every command:
+table.  Four global flags apply to every command:
 
 * ``--jobs N`` — fan grid-shaped experiments out over N worker
   processes (results are byte-identical to a serial run);
+* ``--cell-timeout S`` — per-cell wall-clock budget for pooled runs
+  (default: wait forever); a hung cell surfaces a typed
+  ``CellTimeoutError`` instead of blocking the whole run;
 * ``--no-cache`` — bypass the content-addressed result cache under
   ``~/.cache/repro-rps/`` (``$REPRO_CACHE_DIR`` overrides the
   location);
@@ -45,6 +48,7 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),
         progress=sys.stderr.isatty(),
+        cell_timeout=args.cell_timeout,
     )
 
 
@@ -73,6 +77,12 @@ _GLOBAL_OPTIONS = (
     (("--jobs", "-j"), dict(type=int, default=1,
                             help="worker processes for grid "
                                  "experiments (default 1 = serial)")),
+    (("--cell-timeout",), dict(type=float, default=None,
+                               help="per-cell wall-clock budget in "
+                                    "seconds for pooled runs (default: "
+                                    "wait forever); a hung cell then "
+                                    "fails the run instead of blocking "
+                                    "it")),
     (("--no-cache",), dict(action="store_true",
                            help="bypass the on-disk result cache")),
     (("--json",), dict(action="store_true",

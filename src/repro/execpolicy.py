@@ -1,0 +1,100 @@
+"""Shared timeout/retry policy helpers.
+
+Both execution fan-outs in the repo — the experiment engine's process
+pool (:mod:`repro.experiments.engine`) and the fleet supervisor
+(:mod:`repro.fleet.supervisor`) — need the same two primitives:
+
+* **Deadlines** that bound how long a unit of work may run before it
+  is declared hung (:class:`Deadline` / :class:`DeadlineExceeded`).
+* **Capped exponential backoff with deterministic jitter**
+  (:func:`backoff_delay`): retry schedules derived from a seed and
+  stable coordinates, so two supervised runs of the same fleet retry
+  at exactly the same offsets and a failure report is reproducible.
+
+Everything here is dependency-free plain data so it can sit below
+both the engine and the fleet without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(Exception):
+    """A unit of work overran its wall-clock deadline."""
+
+
+class Deadline:
+    """A wall-clock budget anchored at construction time.
+
+    ``None`` seconds means "no deadline": :meth:`expired` is always
+    False and :meth:`remaining` is None, so callers can thread one
+    object through unconditionally.
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(
+                f"deadline must be positive, got {seconds}")
+        self.seconds = seconds
+        self.start = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return time.monotonic() - self.start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0), or None when unbounded."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.seconds is not None \
+            and self.elapsed() >= self.seconds
+
+
+def stable_seed(base_seed: int, *coords: object) -> int:
+    """A process- and version-stable seed from coordinates.
+
+    Same construction as the engine's ``derive_seed`` (SHA-256 over
+    canonical JSON), duplicated here so this module stays leaf-level.
+    """
+    text = json.dumps([base_seed, [str(c) for c in coords]],
+                      separators=(",", ":"))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def backoff_delay(base: float, cap: float, failures: int,
+                  seed: int, *coords: object) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    Args:
+        base: first-retry delay in seconds.
+        cap: upper bound on any delay.
+        failures: how many failures have occurred (>= 1; the first
+            failure waits ~``base``, each further one doubles).
+        seed: jitter seed (e.g. the fleet seed).
+        coords: stable jitter coordinates (e.g. shard index, attempt)
+            so distinct retries jitter independently but two runs of
+            the same schedule jitter identically.
+
+    The jitter multiplies the exponential delay by a deterministic
+    factor in ``[0.5, 1.0)`` — "equal jitter": enough spread to
+    de-synchronize a thundering herd of retries, never more than the
+    uncapped exponential.
+    """
+    if failures < 1:
+        raise ValueError(f"failures must be >= 1, got {failures}")
+    if base < 0 or cap < 0:
+        raise ValueError("backoff base and cap must be non-negative")
+    raw = base * (2.0 ** (failures - 1))
+    rng = random.Random(stable_seed(seed, "backoff", *coords, failures))
+    jittered = raw * (0.5 + 0.5 * rng.random())
+    return min(cap, jittered)

@@ -52,6 +52,7 @@ from typing import (
 )
 
 from repro import __version__
+from repro.execpolicy import Deadline, DeadlineExceeded
 from repro.experiments.runner import (
     ExperimentConfig,
     RunResult,
@@ -378,6 +379,19 @@ class ResultCache:
 # execution
 
 
+class CellTimeoutError(DeadlineExceeded):
+    """A pooled cell overran the batch deadline (likely hung).
+
+    Carries the labels of the cells still unfinished when the
+    deadline fired, so the report names the stuck work.
+    """
+
+    def __init__(self, message: str,
+                 unfinished: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.unfinished = list(unfinished)
+
+
 @dataclasses.dataclass(frozen=True)
 class EngineOptions:
     """How to execute a batch of cells.
@@ -386,11 +400,21 @@ class EngineOptions:
         jobs: worker processes (1 = run inline, no pool).
         cache: result cache, or None to disable caching.
         progress: emit cells-done/ETA lines to stderr.
+        cell_timeout: per-cell wall-clock budget in seconds for
+            *pooled* execution (default None = wait forever, the
+            historical behaviour).  The batch deadline is conservative
+            — ``cell_timeout × ceil(pending / workers)``, i.e. as if
+            every cell on a worker ran to its full budget — so a slow
+            grid never false-trips, but a genuinely hung cell surfaces
+            a :class:`CellTimeoutError` instead of blocking the run
+            forever.  Inline (``jobs=1``) execution cannot be
+            preempted and ignores it.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     progress: bool = False
+    cell_timeout: Optional[float] = None
 
 
 class _Progress:
@@ -487,11 +511,39 @@ def run_cells(
             finish(index, _execute_cell(cells[index]))
     else:
         workers = min(jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers) as pool:
+        # Conservative batch deadline: as if every cell on a worker
+        # ran to its full budget.  Never false-trips on a slow grid;
+        # still bounds a hung cell.
+        budget = None
+        if options.cell_timeout is not None:
+            rounds = -(-len(pending) // workers)  # ceil division
+            budget = options.cell_timeout * rounds
+        deadline = Deadline(budget)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers)
+        try:
             futures = {pool.submit(_execute_cell, cells[index]): index
                        for index in pending}
-            for future in concurrent.futures.as_completed(futures):
+            for future in concurrent.futures.as_completed(
+                    futures, timeout=deadline.remaining()):
                 finish(futures[future], future.result())
+        except concurrent.futures.TimeoutError:
+            unfinished = [cells[index].label or cells[index].kind
+                          for future, index in futures.items()
+                          if not future.done()]
+            # The workers are wedged; a plain shutdown would block on
+            # them forever, so kill the pool processes first.
+            for proc in getattr(pool, "_processes", {}).values():
+                proc.terminate()
+            pool.shutdown(wait=True, cancel_futures=True)
+            progress.close()
+            raise CellTimeoutError(
+                f"{len(unfinished)} of {len(pending)} cells still "
+                f"unfinished after the {budget:.1f}s batch deadline "
+                f"(cell_timeout={options.cell_timeout}s x {rounds} "
+                f"rounds); likely hung: {unfinished[:8]}",
+                unfinished=unfinished) from None
+        else:
+            pool.shutdown(wait=True)
     progress.close()
     return results

@@ -15,12 +15,37 @@ The production-scale serving layer over the single-device simulator:
   and the fleet fingerprint.
 * :mod:`repro.fleet.service` — :func:`run_fleet`, the engine behind
   the ``repro serve`` CLI (:mod:`repro.fleet.cli`).
+* :mod:`repro.fleet.supervisor` / :mod:`repro.fleet.health` — the
+  supervision layer: heartbeat liveness, hang/deadline kills,
+  deterministic-backoff retries, poison-device quarantine and the
+  fleet-wide circuit breaker.
+* :mod:`repro.fleet.chaos` — seeded, serializable fault-injection
+  plans (worker kills, hangs, checkpoint-write crashes, submission
+  errors, device crashes) for drilling the supervisor; chaos runs
+  with sufficient retry budget reproduce the undisturbed fleet
+  fingerprint exactly.
 
 See ``docs/FLEET.md`` for the architecture and the snapshot format.
 """
 
 from repro.fleet.aggregate import FleetReport
+from repro.fleet.chaos import (
+    CHAOS_KINDS,
+    ChaosEvent,
+    ChaosPlan,
+    poison_device,
+    random_plan,
+)
 from repro.fleet.device import DeviceRun, DeviceSpec
+from repro.fleet.health import (
+    CircuitOpenError,
+    DeviceFailure,
+    FleetHealth,
+    ShardFailedError,
+    ShardHealth,
+    SupervisionError,
+    SupervisionPolicy,
+)
 from repro.fleet.service import (
     FleetServeResult,
     FleetSpec,
@@ -37,20 +62,34 @@ from repro.fleet.snapshot import (
     read_snapshot_header,
     write_snapshot,
 )
+from repro.fleet.supervisor import FleetSupervisor
 from repro.fleet.worker import ShardTask, run_shard
 
 __all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "ChaosPlan",
+    "CircuitOpenError",
+    "DeviceFailure",
     "DeviceRun",
     "DeviceSpec",
+    "FleetHealth",
     "FleetReport",
     "FleetServeResult",
     "FleetSpec",
+    "FleetSupervisor",
+    "ShardFailedError",
+    "ShardHealth",
     "ShardTask",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotMismatchError",
+    "SupervisionError",
+    "SupervisionPolicy",
     "fleet_config",
+    "poison_device",
+    "random_plan",
     "read_snapshot",
     "read_snapshot_header",
     "run_fleet",

@@ -35,10 +35,18 @@ class FleetReport:
     """Aggregated outcome of one fleet pass.
 
     ``device_results`` holds the raw per-device dicts in device-id
-    order; everything else is derived from them.
+    order; everything else is derived from them.  Supervised passes
+    also carry ``health`` (the serialized
+    :class:`~repro.fleet.health.FleetHealth`) and ``quarantined``
+    (poison devices excised mid-run); a report with quarantined
+    devices is **degraded** — complete for every surviving device,
+    with a fingerprint that covers only what was served.
     """
 
     device_results: List[Dict[str, Any]]
+    health: Optional[Dict[str, Any]] = None
+    quarantined: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list)
 
     def __post_init__(self) -> None:
         self.device_results = sorted(self.device_results,
@@ -58,6 +66,17 @@ class FleetReport:
     def checkpointed(self) -> int:
         """Devices stopped mid-run (awaiting a resume)."""
         return self.devices - self.completed
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pass lost devices to quarantine.
+
+        A degraded report is still exact for every device it covers —
+        the fingerprint hashes the *served* devices only — but it is
+        not the full fleet, so it must not be compared against an
+        undegraded run's fingerprint.
+        """
+        return bool(self.quarantined)
 
     def totals(self) -> Dict[str, Any]:
         """Fleet-wide sums and derived ratios."""
@@ -86,6 +105,8 @@ class FleetReport:
                                     else None),
             "iops_sum": sum(iops) if iops else None,
             "iops_mean": _mean(iops),
+            "quarantined_devices": len(self.quarantined),
+            "degraded": self.degraded,
             "fingerprint": self.fingerprint(),
         }
 
@@ -153,7 +174,13 @@ class FleetReport:
             totals["completed_requests"])
         registry.counter("fleet.erases").inc(totals["erases_total"])
         for key, value in totals["counters"].items():
-            registry.counter("fleet.ftl", counter=key).inc(value)
+            if value >= 0:
+                registry.counter("fleet.ftl", counter=key).inc(value)
+            else:
+                # Some FTL "counters" are signed levels (e.g. a quota
+                # balance); a monotonic Counter would reject them.
+                registry.gauge("fleet.ftl_level",
+                               counter=key).set(value)
         if totals["write_amplification"] is not None:
             registry.gauge("fleet.write_amplification").set(
                 totals["write_amplification"])
@@ -181,15 +208,32 @@ class FleetReport:
                 registry.gauge("fleet.tenant_write_p99_max",
                                tenant=name).set(
                     tenant["write_p99_max"])
+        if self.quarantined:
+            registry.counter("fleet.quarantined_devices").inc(
+                len(self.quarantined))
+        if self.health is not None:
+            registry.counter("fleet.supervisor.attempts").inc(
+                self.health.get("attempts_total", 0))
+            registry.counter("fleet.supervisor.retries").inc(
+                self.health.get("retries_total", 0))
+            registry.counter("fleet.supervisor.kills").inc(
+                self.health.get("kills_total", 0))
+            registry.gauge("fleet.supervisor.wall_lost").set(
+                self.health.get("wall_lost", 0.0))
         return registry
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe report (``--json`` / CI assertions)."""
-        return {
+        out = {
             "totals": self.totals(),
             "tenants": self.per_tenant(),
             "devices": self.device_results,
         }
+        if self.health is not None:
+            out["health"] = self.health
+        if self.quarantined:
+            out["quarantined"] = self.quarantined
+        return out
 
     def render(self) -> str:
         """Human-readable fleet report."""
@@ -224,6 +268,17 @@ class FleetReport:
                     f"viol {t['read_violations']}"
                     f"/{t['write_violations']}  "
                     f"worst write p99 {p99_text}")
+        if self.health is not None:
+            lines.append(
+                f"  supervision        "
+                f"{self.health.get('attempts_total', 0)} attempts · "
+                f"{self.health.get('retries_total', 0)} retries · "
+                f"{self.health.get('kills_total', 0)} kills · "
+                f"{self.health.get('wall_lost', 0.0):.2f}s lost")
+        if self.quarantined:
+            ids = sorted(entry["device_id"]
+                         for entry in self.quarantined)
+            lines.append(f"  quarantined        {ids} (DEGRADED)")
         lines.append(f"  fingerprint        "
                      f"{totals['fingerprint'][:16]}…")
         return "\n".join(lines)

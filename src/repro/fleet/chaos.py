@@ -1,0 +1,260 @@
+"""Deterministic chaos plans for the fleet supervisor.
+
+A :class:`ChaosPlan` is the supervision analogue of PR-4's
+:class:`~repro.faults.plan.FaultPlan`: a seeded, serializable schedule
+of *infrastructure* failures — worker SIGKILLs, artificial hangs,
+checkpoint-write crashes (killed between tmp-write and rename) and
+transient task-submission errors — pinned to exact (shard, attempt,
+turn) coordinates.  Because the simulation itself is deterministic and
+the supervisor's backoff jitter is seeded, a chaos campaign is exactly
+reproducible, and the oracle is sharp: **any chaos run with a
+sufficient retry budget produces the same fleet fingerprint as the
+undisturbed run** (asserted by ``tests/test_fleet_chaos_property.py``
+and the CI chaos drill).
+
+Event vocabulary (:data:`CHAOS_KINDS`):
+
+* ``kill`` — the worker SIGKILLs itself at round-robin turn ``at``.
+* ``hang`` — the worker sleeps ``hang_seconds`` at turn ``at``; the
+  supervisor's heartbeat timeout detects and kills it.
+* ``checkpoint_crash`` — the worker SIGKILLs itself between a
+  checkpoint's tmp-write and its rename (the ``at``-th checkpoint
+  write of the attempt), exercising snapshot crash-safety.
+* ``submit_error`` — the supervisor fails the attempt's submission
+  itself (a transient scheduler error); never reaches a worker.
+* ``device_crash`` — advancing device ``device`` raises a
+  :class:`~repro.fleet.health.DeviceFailure`; repeated on enough
+  attempts this is how a *poison device* is modelled
+  (:func:`poison_device`).
+
+``turn`` coordinates count a worker's round-robin device turns within
+one attempt, starting at 0; an event whose coordinates are never
+reached simply does not fire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet import snapshot as snapshot_module
+from repro.fleet.health import DeviceFailure
+
+#: Chaos kinds a plan may schedule.
+CHAOS_KINDS = ("kill", "hang", "checkpoint_crash", "submit_error",
+               "device_crash")
+
+
+class DeviceCrashError(RuntimeError):
+    """The chaos plan crashed a device (the injected fault itself)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled infrastructure failure.
+
+    Attributes:
+        kind: a :data:`CHAOS_KINDS` member.
+        shard: shard index the event strikes.
+        attempt: which attempt of the shard it strikes (0 = first).
+        at: kind-specific trigger index — round-robin turn for
+            ``kill``/``hang``/``device_crash``, checkpoint-write
+            ordinal for ``checkpoint_crash``; ignored for
+            ``submit_error``.
+        device: target device id (``device_crash`` only).
+        hang_seconds: sleep length for ``hang`` (long enough that the
+            heartbeat timeout fires first).
+    """
+
+    kind: str
+    shard: int
+    attempt: int = 0
+    at: int = 0
+    device: Optional[int] = None
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; choose from "
+                f"{CHAOS_KINDS}")
+        if self.shard < 0 or self.attempt < 0 or self.at < 0:
+            raise ValueError(
+                "shard, attempt and at must be non-negative")
+        if self.kind == "device_crash" and self.device is None:
+            raise ValueError("device_crash events need a device id")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            shard=int(data["shard"]),
+            attempt=int(data.get("attempt", 0)),
+            at=int(data.get("at", 0)),
+            device=(None if data.get("device") is None
+                    else int(data["device"])),
+            hang_seconds=float(data.get("hang_seconds", 3600.0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, serializable schedule of infrastructure failures."""
+
+    seed: int = 0
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this plan injects anything at all."""
+        return bool(self.events)
+
+    def for_attempt(self, shard: int,
+                    attempt: int) -> List[ChaosEvent]:
+        """The events striking one (shard, attempt) coordinate."""
+        return [event for event in self.events
+                if event.shard == shard and event.attempt == attempt]
+
+    def submit_error(self, shard: int, attempt: int) -> bool:
+        """Whether submission of this attempt fails transiently."""
+        return any(event.kind == "submit_error"
+                   for event in self.for_attempt(shard, attempt))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            events=tuple(ChaosEvent.from_dict(event)
+                         for event in data.get("events", ())),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosPlan":
+        """Parse a CLI chaos spec: inline JSON or a JSON file path."""
+        text = spec
+        if not spec.lstrip().startswith("{"):
+            text = Path(spec).read_text(encoding="utf-8")
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"chaos spec is not valid JSON ({exc}); pass inline "
+                f"JSON or the path of a JSON file") from exc
+        return cls.from_dict(data)
+
+
+def poison_device(device: int, shard: int, *, attempts: int,
+                  at: int = 0) -> Tuple[ChaosEvent, ...]:
+    """``device_crash`` events for every attempt up to ``attempts``.
+
+    A device that crashes on this many consecutive attempts exhausts
+    the supervisor's ``device_retry_budget`` and is quarantined.
+    """
+    return tuple(
+        ChaosEvent(kind="device_crash", shard=shard, attempt=attempt,
+                   at=at, device=device)
+        for attempt in range(attempts)
+    )
+
+
+def random_plan(seed: int, *, shards: int, max_turn: int,
+                events: int = 1,
+                kinds: Tuple[str, ...] = ("kill", "hang")
+                ) -> ChaosPlan:
+    """A seeded random plan over first-attempt kill/hang injections.
+
+    Deterministic in ``seed``: the property suite and ad-hoc drills
+    get varied injection points without losing reproducibility.  All
+    events strike attempt 0, so a ``max_retries >= events`` budget is
+    always sufficient for full recovery.
+    """
+    rng = random.Random(seed)
+    chosen: List[ChaosEvent] = []
+    struck: set = set()
+    for _ in range(events):
+        shard = rng.randrange(shards)
+        if shard in struck:
+            continue  # one event per shard keeps attempt maths simple
+        struck.add(shard)
+        chosen.append(ChaosEvent(
+            kind=rng.choice(list(kinds)),
+            shard=shard,
+            attempt=0,
+            at=rng.randrange(max_turn),
+            hang_seconds=3600.0,
+        ))
+    return ChaosPlan(seed=seed, events=tuple(chosen))
+
+
+class ChaosRuntime:
+    """Worker-side executor of one (shard, attempt)'s chaos events.
+
+    Installed by the supervised shard entry point; the serving loop
+    calls :meth:`on_advance` once per round-robin device turn (before
+    advancing), and :meth:`install` arms the snapshot module's
+    before-rename hook for ``checkpoint_crash`` events.  With no
+    matching events every call is a no-op.
+    """
+
+    def __init__(self, plan: ChaosPlan, shard: int,
+                 attempt: int) -> None:
+        self.events = plan.for_attempt(shard, attempt)
+        self._turn = 0
+        self._checkpoints = 0
+
+    def install(self) -> None:
+        """Arm the checkpoint-crash hook (process-local)."""
+        if any(e.kind == "checkpoint_crash" for e in self.events):
+            snapshot_module._before_rename_hook = self._on_checkpoint
+
+    def _die(self) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_advance(self, device_id: int) -> None:
+        """Fire events due at this turn; called before each advance."""
+        turn = self._turn
+        self._turn += 1
+        for event in self.events:
+            if event.kind == "kill" and event.at == turn:
+                self._die()
+            elif event.kind == "hang" and event.at == turn:
+                time.sleep(event.hang_seconds)
+            elif event.kind == "device_crash" \
+                    and event.device == device_id \
+                    and turn >= event.at:
+                raise DeviceFailure(
+                    device_id,
+                    DeviceCrashError(
+                        f"chaos device_crash on device {device_id}"))
+
+    def _on_checkpoint(self, tmp_path: Path) -> None:
+        ordinal = self._checkpoints
+        self._checkpoints += 1
+        for event in self.events:
+            if event.kind == "checkpoint_crash" \
+                    and event.at == ordinal:
+                self._die()

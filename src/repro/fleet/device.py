@@ -34,6 +34,7 @@ from repro.experiments.runner import (
 )
 from repro.fleet.snapshot import (
     SnapshotError,
+    SnapshotMismatchError,
     read_snapshot,
     read_snapshot_header,
     write_snapshot,
@@ -218,25 +219,41 @@ class DeviceRun:
             "events": self.sim.processed,
         }
 
-    def save(self, path: "Path | str") -> Dict[str, Any]:
-        """Checkpoint the full run state to ``path`` (atomic)."""
+    def save(self, path: "Path | str",
+             extra_header: Optional[Dict[str, Any]] = None
+             ) -> Dict[str, Any]:
+        """Checkpoint the full run state to ``path`` (crash-safe).
+
+        ``extra_header`` entries (e.g. the owning fleet's spec hash)
+        are merged into the snapshot header for resume-time checks.
+        """
         if "_execute" in self.controller.__dict__:
             raise SnapshotError(
                 "cannot snapshot a device while a tracer is "
                 "installed: the tracer patches the controller with an "
                 "unpicklable closure.  Detach the tracer (or trace "
                 "only untraced fleet runs) and retry.")
-        return write_snapshot(path, self, self.snapshot_header())
+        header = self.snapshot_header()
+        if extra_header:
+            header.update(extra_header)
+        return write_snapshot(path, self, header)
 
     @classmethod
     def load(cls, path: "Path | str",
-             expect_config: Optional[ExperimentConfig] = None
+             expect_config: Optional[ExperimentConfig] = None,
+             expect_fleet_hash: Optional[str] = None
              ) -> "DeviceRun":
         """Resume a device from a snapshot file.
 
         ``expect_config`` (usually the resuming fleet's config) pins
         the kernel and stepping mode; a mismatch refuses with a clear
-        error instead of risking divergence.
+        error instead of risking divergence.  ``expect_fleet_hash``
+        pins the owning :class:`~repro.fleet.service.FleetSpec`'s
+        content hash: snapshot paths are named only by device id, so
+        two different fleets sharing a checkpoint directory would
+        otherwise silently splice each other's devices in.  A snapshot
+        written without a fleet hash (direct ``save()`` callers) is
+        accepted.
         """
         expect_kernel = expect_stepping = None
         if expect_config is not None:
@@ -249,6 +266,15 @@ class DeviceRun:
             raise SnapshotError(
                 f"{path} is a valid snapshot but not a device run "
                 f"(kind={header.get('kind')!r})")
+        written_for = header.get("fleet_hash")
+        if expect_fleet_hash is not None and written_for is not None \
+                and written_for != expect_fleet_hash:
+            raise SnapshotMismatchError(
+                f"{path} was checkpointed for a different fleet spec "
+                f"(fleet hash {written_for[:12]}… != expected "
+                f"{expect_fleet_hash[:12]}…); resuming it here would "
+                f"splice a foreign device into this fleet.  Point "
+                f"--checkpoint-dir at this fleet's own directory.")
         return run
 
     @staticmethod

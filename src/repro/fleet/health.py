@@ -1,0 +1,234 @@
+"""Fleet supervision policy, health records and typed failures.
+
+The :class:`SupervisionPolicy` is the knob surface of the fleet
+supervisor (:mod:`repro.fleet.supervisor`): heartbeat cadence and
+timeout, per-attempt deadlines, retry budgets, backoff shape,
+quarantine limits and the fleet-wide circuit breaker — all plain
+serializable data, so a policy rides inside reports and CI artifacts.
+
+:class:`ShardHealth` / :class:`FleetHealth` are what the supervisor
+*observed*: per-shard attempts, retries, kill reasons, heartbeat gaps
+and wall-clock lost to retries.  They publish through the PR-5
+:class:`~repro.observability.metrics.MetricsRegistry` (see
+:meth:`~repro.fleet.aggregate.FleetReport.to_metrics`) and land in the
+``health`` section of a supervised :class:`FleetReport`.
+
+Typed failures:
+
+* :class:`DeviceFailure` — a device crashed while being built,
+  resumed or advanced; carries the device id so the supervisor can
+  attribute the failure and eventually quarantine a poison device.
+* :class:`ShardFailedError` — a shard exhausted its retry budget with
+  no quarantinable cause; lists any devices already quarantined.
+* :class:`CircuitOpenError` — the fleet-wide failure budget tripped;
+  the supervisor stops retrying rather than thrash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+
+class SupervisionError(Exception):
+    """Base class for supervisor-declared failures."""
+
+
+class DeviceFailure(SupervisionError):
+    """A device's build/resume/advance raised.
+
+    The original exception chains as ``__cause__``; ``device_id``
+    names the culprit for retry accounting and quarantine.
+    """
+
+    def __init__(self, device_id: int, cause: BaseException) -> None:
+        super().__init__(
+            f"device {device_id} failed: {cause!r}")
+        self.device_id = device_id
+        self.__cause__ = cause
+
+
+class ShardFailedError(SupervisionError):
+    """A shard exhausted its retry budget.
+
+    Attributes:
+        shard: the failed shard's index.
+        attempts: how many attempts were made.
+        reasons: per-failure reason strings, oldest first.
+        quarantined: device ids quarantined fleet-wide before the
+            shard gave up.
+    """
+
+    def __init__(self, shard: int, attempts: int,
+                 reasons: List[str],
+                 quarantined: List[int]) -> None:
+        detail = f"; quarantined devices: {quarantined}" \
+            if quarantined else ""
+        super().__init__(
+            f"shard {shard} failed after {attempts} attempts "
+            f"({', '.join(reasons) or 'no failures recorded'})"
+            f"{detail}")
+        self.shard = shard
+        self.attempts = attempts
+        self.reasons = list(reasons)
+        self.quarantined = list(quarantined)
+
+
+class CircuitOpenError(SupervisionError):
+    """The fleet-wide failure budget tripped; retries stopped."""
+
+    def __init__(self, failures: int, budget: int) -> None:
+        super().__init__(
+            f"fleet circuit breaker open: {failures} shard failures "
+            f"exceed the fleet-wide budget of {budget}; the fleet is "
+            f"unhealthy beyond what retries should paper over")
+        self.failures = failures
+        self.budget = budget
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the supervisor watches, retries and gives up.
+
+    All times are wall-clock seconds.  Attributes:
+
+        heartbeat_interval: minimum spacing of worker progress
+            heartbeats (workers throttle their sends to this).
+        heartbeat_timeout: no heartbeat for this long declares the
+            shard hung; its process is killed and the attempt retried.
+        shard_deadline: per-*attempt* wall-clock budget (None = no
+            deadline).  Deadlines catch livelock the heartbeat cannot
+            (a worker making glacial but nonzero progress).
+        max_retries: per-shard failure budget.  Failures past this
+            raise :class:`ShardFailedError` (the budget resets when a
+            poison device is quarantined — the cause was excised).
+        device_retry_budget: device-attributed failures before the
+            device is declared poison and quarantined.
+        quarantine: whether quarantine is allowed at all; when False a
+            poison device fails its shard instead.
+        max_quarantined: fleet-wide cap on quarantined devices (None =
+            unbounded); exceeding it fails the shard.
+        backoff_base: first-retry backoff delay.
+        backoff_cap: upper bound on any backoff delay.
+        max_fleet_failures: fleet-wide circuit breaker — total shard
+            failures past this raise :class:`CircuitOpenError`
+            (None = breaker disabled).
+        poll_interval: supervisor control-loop poll cadence.
+    """
+
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 30.0
+    shard_deadline: Optional[float] = None
+    max_retries: int = 3
+    device_retry_budget: int = 2
+    quarantine: bool = True
+    max_quarantined: Optional[int] = None
+    backoff_base: float = 0.25
+    backoff_cap: float = 5.0
+    max_fleet_failures: Optional[int] = None
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise ValueError("shard_deadline must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.device_retry_budget < 1:
+            raise ValueError("device_retry_budget must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff values must be non-negative")
+        if self.max_fleet_failures is not None \
+                and self.max_fleet_failures < 1:
+            raise ValueError("max_fleet_failures must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot, invertible via :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SupervisionPolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class ShardHealth:
+    """What the supervisor observed about one shard.
+
+    Attributes:
+        shard: shard index.
+        attempts: processes spawned (1 = clean first pass).
+        retries: attempts past the first.
+        kills: reason per failure, oldest first (``worker_died``,
+            ``hung``, ``deadline``, ``submit_error``,
+            ``device_failure``, ``error``).
+        failures: structured per-failure records
+            (attempt / reason / device_id / error).
+        heartbeats: heartbeat messages received.
+        heartbeat_gap_max: widest observed gap between consecutive
+            heartbeats (including spawn-to-first).
+        wall_lost: wall-clock seconds spent on failed attempts plus
+            backoff waits — the cost of the chaos.
+        last_device: device id named by the latest heartbeat.
+        last_events: cumulative events named by the latest heartbeat.
+    """
+
+    shard: int
+    attempts: int = 0
+    retries: int = 0
+    kills: List[str] = dataclasses.field(default_factory=list)
+    failures: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list)
+    heartbeats: int = 0
+    heartbeat_gap_max: float = 0.0
+    wall_lost: float = 0.0
+    last_device: Optional[int] = None
+    last_events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class FleetHealth:
+    """Fleet-wide supervision outcome: per-shard health + rollups."""
+
+    shards: List[ShardHealth] = dataclasses.field(default_factory=list)
+    policy: Optional[SupervisionPolicy] = None
+    chaos: Optional[Dict[str, Any]] = None
+
+    @property
+    def attempts_total(self) -> int:
+        return sum(s.attempts for s in self.shards)
+
+    @property
+    def retries_total(self) -> int:
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def kills_total(self) -> int:
+        return sum(len(s.kills) for s in self.shards)
+
+    @property
+    def wall_lost(self) -> float:
+        return sum(s.wall_lost for s in self.shards)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (the report's ``health`` section)."""
+        return {
+            "shards": [s.to_dict() for s in self.shards],
+            "attempts_total": self.attempts_total,
+            "retries_total": self.retries_total,
+            "kills_total": self.kills_total,
+            "wall_lost": self.wall_lost,
+            "policy": (self.policy.to_dict()
+                       if self.policy is not None else None),
+            "chaos": self.chaos,
+        }

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import hashlib
+import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.engine import ResultCache
@@ -32,8 +34,11 @@ from repro.experiments.runner import (
     build_system,
 )
 from repro.fleet.aggregate import FleetReport
+from repro.fleet.chaos import ChaosPlan
 from repro.fleet.device import DeviceSpec, device_scenario_spec
+from repro.fleet.health import SupervisionPolicy
 from repro.fleet.shard import shard_ranges
+from repro.fleet.supervisor import FleetSupervisor
 from repro.fleet.worker import DEFAULT_QUANTUM, ShardTask, run_shard
 from repro.nand.geometry import NandGeometry
 from repro.scenarios.base import TenantBinding
@@ -99,6 +104,19 @@ class FleetSpec:
         out["config"] = self.config.to_dict()
         return out
 
+    def content_hash(self) -> str:
+        """Digest of the full fleet parameterisation.
+
+        Stamped into every device snapshot header and verified on
+        resume: a checkpoint directory left over from a *different*
+        fleet spec is refused (typed
+        :class:`~repro.fleet.snapshot.SnapshotMismatchError`) instead
+        of silently splicing stale state into the report.
+        """
+        canon = json.dumps(self.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
     def resolved_footprint(self) -> int:
         """The per-device workload footprint (derived when unset)."""
         if self.footprint is not None:
@@ -156,6 +174,8 @@ class FleetServeResult:
     resumed: int
     checkpoints: int
     cache_hits: int
+    rebuilt: int = 0
+    supervised: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         out = self.report.to_dict()
@@ -164,15 +184,18 @@ class FleetServeResult:
             "resumed_devices": self.resumed,
             "checkpoints_written": self.checkpoints,
             "cache_hits": self.cache_hits,
+            "rebuilt_devices": self.rebuilt,
+            "supervised": self.supervised,
         }
         return out
 
     def render(self) -> str:
         lines = [self.report.render()]
+        extra = f" · {self.rebuilt} rebuilt" if self.rebuilt else ""
         lines.append(
             f"  service            {self.workers} workers · "
             f"{self.resumed} resumed · {self.checkpoints} "
-            f"checkpoints · {self.cache_hits} cache hits")
+            f"checkpoints · {self.cache_hits} cache hits{extra}")
         return "\n".join(lines)
 
 
@@ -186,6 +209,8 @@ def run_fleet(
     checkpoint_every: Optional[int] = None,
     quantum: int = DEFAULT_QUANTUM,
     cache: Optional[ResultCache] = None,
+    supervise: Optional[SupervisionPolicy] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> FleetServeResult:
     """Serve one fleet pass and aggregate its results.
 
@@ -203,9 +228,22 @@ def run_fleet(
         quantum: per-device round-robin event quantum.
         cache: completed-device result cache (None disables
             memoization).
+        supervise: run shards under the fleet supervisor
+            (:mod:`repro.fleet.supervisor`) with this policy —
+            heartbeat liveness, deadlines, deterministic-backoff
+            retries, poison-device quarantine and the fleet circuit
+            breaker.  None (default) keeps the plain pool path,
+            byte-identical to previous releases.
+        chaos: deterministic fault-injection plan; requires
+            ``supervise`` (the plan kills workers — someone must be
+            watching).
     """
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True needs a checkpoint_dir")
+    if chaos is not None and chaos.enabled and supervise is None:
+        raise ValueError(
+            "a chaos plan needs supervise= — injected kills and "
+            "hangs are only recoverable under the supervisor")
     specs = fleet.device_specs()
 
     # Fleet-level memoization: completed devices replay from the
@@ -227,6 +265,8 @@ def run_fleet(
         pending_specs = list(specs)
 
     workers = max(1, jobs)
+    fleet_hash = fleet.content_hash() \
+        if checkpoint_dir is not None else None
     tasks = [
         ShardTask(
             shard_index=index,
@@ -236,13 +276,21 @@ def run_fleet(
             stop_after_events=stop_after_events,
             checkpoint_every=checkpoint_every,
             quantum=quantum,
+            fleet_hash=fleet_hash,
         )
         for index, (start, stop) in enumerate(
             shard_ranges(len(pending_specs), workers))
     ]
 
+    health = None
+    quarantined: List[Dict[str, Any]] = []
     reports: List[Dict[str, Any]] = []
-    if workers == 1 or len(tasks) <= 1:
+    if supervise is not None:
+        supervisor = FleetSupervisor(tasks, supervise,
+                                     seed=fleet.seed, chaos=chaos)
+        reports, fleet_health, quarantined = supervisor.run()
+        health = fleet_health.to_dict()
+    elif workers == 1 or len(tasks) <= 1:
         for task in tasks:
             reports.append(run_shard(task))
     else:
@@ -253,17 +301,20 @@ def run_fleet(
                 reports.append(future.result())
 
     device_results = list(cached_results)
-    resumed = checkpoints = 0
+    resumed = checkpoints = rebuilt = 0
     for shard_report in reports:
         resumed += shard_report["resumed"]
         checkpoints += shard_report["checkpoints"]
+        rebuilt += shard_report.get("rebuilt", 0)
         for result in shard_report["results"]:
             device_results.append(result)
             if use_cache and result["completed"]:
                 key = specs[result["device_id"]].cache_key()
                 cache.put(key, "fleet_device", result)
 
-    report = FleetReport(device_results)
+    report = FleetReport(device_results, health=health,
+                         quarantined=quarantined)
     return FleetServeResult(report=report, workers=len(tasks) or 1,
                             resumed=resumed, checkpoints=checkpoints,
-                            cache_hits=cache_hits)
+                            cache_hits=cache_hits, rebuilt=rebuilt,
+                            supervised=supervise is not None)

@@ -34,11 +34,12 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import os
 import pickle
 import struct
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import __version__
 
@@ -65,15 +66,39 @@ class SnapshotMismatchError(SnapshotError):
     (e.g. it was written under a different simulation kernel)."""
 
 
+#: Chaos/test hook: called with the fully written + fsynced temp path
+#: *before* the rename.  The chaos harness (:mod:`repro.fleet.chaos`)
+#: arms this to simulate a crash between tmp-write and rename — the
+#: window an atomic checkpoint must survive.  Never set in production.
+_before_rename_hook: Optional[Callable[[Path], None]] = None
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table (rename durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that refuse O_RDONLY on directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_snapshot(path: "Path | str", payload: Any,
                    header: Dict[str, Any]) -> Dict[str, Any]:
     """Write ``payload`` (pickled) under a versioned header.
 
     ``header`` must carry at least ``kernel`` and ``stepping``; the
     format version, package version, payload digest and payload length
-    are filled in here.  The write is atomic (temp file + rename), so
-    a kill mid-checkpoint leaves the previous snapshot intact.
-    Returns the full header as written.
+    are filled in here.  The write is crash-safe, not merely atomic:
+    the temp file is fsynced before the rename and the containing
+    directory is fsynced on either side of it, so a *host* crash (not
+    just a process kill) can never leave a zero-length or torn
+    ``.snap`` where a good one stood — the old snapshot survives until
+    the new one is durable.  Returns the full header as written.
     """
     path = Path(path)
     for field in ("kernel", "stepping"):
@@ -94,7 +119,13 @@ def write_snapshot(path: "Path | str", payload: Any,
         handle.write(_LEN.pack(len(header_bytes)))
         handle.write(header_bytes)
         handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _fsync_dir(path.parent)
+    if _before_rename_hook is not None:
+        _before_rename_hook(tmp)
     tmp.replace(path)
+    _fsync_dir(path.parent)
     return full
 
 

@@ -1,0 +1,367 @@
+"""The fleet supervisor: crash/hang recovery, retry, quarantine.
+
+:class:`FleetSupervisor` runs every :class:`~repro.fleet.worker
+.ShardTask` of a fleet pass under true OS supervision instead of a
+bare process pool:
+
+* each shard attempt runs in its own killable
+  :class:`multiprocessing.Process`, reporting **liveness heartbeats**
+  (device id, cumulative events, checkpoints written) over a queue;
+* a shard with no heartbeat inside the policy's window is declared
+  hung and its process SIGKILLed; a per-attempt wall-clock deadline
+  catches livelock that still heartbeats;
+* failed/hung/killed/crashed attempts are **retried with capped
+  exponential backoff and deterministic jitter** (seeded from the
+  fleet seed via :func:`repro.execpolicy.backoff_delay`, so two
+  supervised runs retry on identical schedules), resuming from the
+  latest checkpoints when a checkpoint directory is configured;
+* a device that keeps failing (a **poison device**) is quarantined:
+  excised from its shard, its checkpoint retired, the shard restarted
+  without it and its identity recorded for the report's
+  ``quarantined`` section — one bad spec cannot sink the fleet;
+* a per-shard retry budget raises :class:`~repro.fleet.health
+  .ShardFailedError` and a fleet-wide failure budget raises
+  :class:`~repro.fleet.health.CircuitOpenError` when recovery stops
+  being plausible.
+
+Determinism: the simulation work itself is unaffected by *when* or
+*how often* it is re-run — device state advances only at event
+boundaries and checkpoints restore byte-identically — so a supervised
+run that eventually completes every device produces exactly the
+uninterrupted run's fleet fingerprint.  That is the chaos oracle
+(:mod:`repro.fleet.chaos`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.execpolicy import backoff_delay
+from repro.fleet.chaos import ChaosPlan, ChaosRuntime
+from repro.fleet.health import (
+    CircuitOpenError,
+    DeviceFailure,
+    FleetHealth,
+    ShardFailedError,
+    ShardHealth,
+    SupervisionPolicy,
+)
+from repro.fleet.worker import ShardTask, checkpoint_path, run_shard
+
+
+def _shard_main(task: ShardTask, attempt: int,
+                plan_data: Optional[Dict[str, Any]],
+                heartbeat_interval: float,
+                hb_queue, result_queue) -> None:
+    """Supervised shard entry point (child process)."""
+    runtime = None
+    if plan_data is not None:
+        runtime = ChaosRuntime(ChaosPlan.from_dict(plan_data),
+                               task.shard_index, attempt)
+    last_sent = [0.0]
+
+    def observer(device_id: int, events: int,
+                 checkpoints: int) -> None:
+        now = time.monotonic()
+        if now - last_sent[0] >= heartbeat_interval:
+            last_sent[0] = now
+            hb_queue.put((task.shard_index, attempt, device_id,
+                          events, checkpoints))
+
+    try:
+        report = run_shard(task, observer=observer, chaos=runtime)
+    except DeviceFailure as failure:
+        result_queue.put(("failed", task.shard_index, attempt,
+                          {"device_id": failure.device_id,
+                           "error": str(failure)}))
+    except Exception as exc:  # report, don't die silently
+        result_queue.put(("failed", task.shard_index, attempt,
+                          {"device_id": None, "error": repr(exc)}))
+    else:
+        result_queue.put(("done", task.shard_index, attempt, report))
+
+
+def _empty_report(shard: int) -> Dict[str, Any]:
+    """The report of a shard whose every device was quarantined."""
+    return {"shard": shard, "results": [], "resumed": 0,
+            "rebuilt": 0, "checkpoints": 0}
+
+
+@dataclasses.dataclass
+class _ShardState:
+    """Supervisor-side bookkeeping for one shard."""
+
+    task: ShardTask
+    health: ShardHealth
+    proc: Optional[multiprocessing.Process] = None
+    attempt: int = -1         # active attempt index
+    spawned_at: float = 0.0
+    last_hb: float = 0.0
+    retry_at: Optional[float] = None
+    failures: int = 0         # since the last quarantine
+    report: Optional[Dict[str, Any]] = None
+
+    @property
+    def shard(self) -> int:
+        return self.health.shard
+
+    @property
+    def done(self) -> bool:
+        return self.report is not None
+
+
+class FleetSupervisor:
+    """Run shard tasks to completion under the supervision policy."""
+
+    def __init__(self, tasks: List[ShardTask],
+                 policy: SupervisionPolicy, *, seed: int = 0,
+                 chaos: Optional[ChaosPlan] = None) -> None:
+        self.policy = policy
+        self.seed = seed
+        self.chaos = chaos if chaos is not None and chaos.enabled \
+            else chaos
+        self._plan_data = chaos.to_dict() if chaos is not None \
+            else None
+        ctx = multiprocessing.get_context()
+        self._hb_queue = ctx.SimpleQueue()
+        self._result_queue = ctx.SimpleQueue()
+        self._ctx = ctx
+        self.states = [
+            _ShardState(task=task,
+                        health=ShardHealth(shard=task.shard_index))
+            for task in tasks
+        ]
+        self.total_failures = 0
+        self.device_failures: Dict[int, int] = {}
+        self.quarantined: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def run(self) -> Tuple[List[Dict[str, Any]], FleetHealth,
+                           List[Dict[str, Any]]]:
+        """Supervise every shard to completion.
+
+        Returns ``(shard_reports, health, quarantined)`` with reports
+        in shard order.  Raises :class:`ShardFailedError` /
+        :class:`CircuitOpenError` when recovery is exhausted; all
+        worker processes are killed before raising.
+        """
+        try:
+            for state in self.states:
+                self._spawn(state)
+            while not all(state.done for state in self.states):
+                self._drain_heartbeats()
+                self._drain_results()
+                now = time.monotonic()
+                for state in self.states:
+                    if state.done:
+                        continue
+                    if state.proc is not None:
+                        self._check_running(state, now)
+                    elif state.retry_at is not None \
+                            and now >= state.retry_at:
+                        state.retry_at = None
+                        self._spawn(state)
+                time.sleep(self.policy.poll_interval)
+        except BaseException:
+            self._shutdown()
+            raise
+        health = FleetHealth(
+            shards=[state.health for state in self.states],
+            policy=self.policy,
+            chaos=self._plan_data,
+        )
+        reports = [state.report for state in
+                   sorted(self.states, key=lambda s: s.shard)]
+        return reports, health, list(self.quarantined)
+
+    def _shutdown(self) -> None:
+        """Kill every live worker (error-path cleanup)."""
+        for state in self.states:
+            if state.proc is not None and state.proc.is_alive():
+                state.proc.kill()
+        for state in self.states:
+            if state.proc is not None:
+                state.proc.join(timeout=5.0)
+                state.proc = None
+
+    # ------------------------------------------------------------------
+    # spawning and retries
+
+    def _spawn(self, state: _ShardState) -> None:
+        if not state.task.specs:
+            # Everything quarantined away: nothing left to serve.
+            state.report = _empty_report(state.shard)
+            return
+        attempt = state.health.attempts
+        state.health.attempts += 1
+        if attempt > 0:
+            state.health.retries += 1
+        state.attempt = attempt
+        now = time.monotonic()
+        state.spawned_at = state.last_hb = now
+        if self.chaos is not None \
+                and self.chaos.submit_error(state.shard, attempt):
+            # Transient task-submission error: the attempt never
+            # reaches a worker; it fails instantly and backs off.
+            self._on_failure(state, "submit_error", None)
+            return
+        task = state.task
+        if attempt > 0 and task.checkpoint_dir is not None:
+            # Retries resume from the latest checkpoints so only the
+            # lost quantum is re-done.
+            task = dataclasses.replace(task, resume=True)
+        proc = self._ctx.Process(
+            target=_shard_main,
+            args=(task, attempt, self._plan_data,
+                  self.policy.heartbeat_interval,
+                  self._hb_queue, self._result_queue),
+            daemon=True,
+        )
+        proc.start()
+        state.proc = proc
+
+    def _check_running(self, state: _ShardState, now: float) -> None:
+        """Kill a hung/overdue attempt; detect a silently dead one."""
+        if not state.proc.is_alive():
+            # Dead without a drained message: give the result queue
+            # one final look (the exit may have raced the drain).
+            self._drain_results()
+            if state.done or state.proc is None:
+                return
+            state.proc.join()
+            state.proc = None
+            self._on_failure(state, "worker_died", None)
+            return
+        reason = None
+        if now - state.last_hb > self.policy.heartbeat_timeout:
+            reason = "hung"
+        elif self.policy.shard_deadline is not None \
+                and now - state.spawned_at > self.policy.shard_deadline:
+            reason = "deadline"
+        if reason is not None:
+            state.proc.kill()
+            state.proc.join(timeout=5.0)
+            state.proc = None
+            self._on_failure(state, reason, None)
+
+    def _on_failure(self, state: _ShardState, reason: str,
+                    info: Optional[Dict[str, Any]]) -> None:
+        now = time.monotonic()
+        state.health.kills.append(reason)
+        state.health.failures.append({
+            "attempt": state.attempt,
+            "reason": reason,
+            "device_id": info.get("device_id") if info else None,
+            "error": info.get("error") if info else None,
+        })
+        state.health.wall_lost += max(0.0, now - state.spawned_at)
+        state.failures += 1
+        self.total_failures += 1
+        state.proc = None
+
+        quarantined_now = False
+        device_id = info.get("device_id") if info else None
+        if device_id is not None:
+            count = self.device_failures.get(device_id, 0) + 1
+            self.device_failures[device_id] = count
+            if self.policy.quarantine \
+                    and count >= self.policy.device_retry_budget \
+                    and (self.policy.max_quarantined is None
+                         or len(self.quarantined)
+                         < self.policy.max_quarantined):
+                self._quarantine(state, device_id, info)
+                quarantined_now = True
+
+        budget = self.policy.max_fleet_failures
+        if budget is not None and self.total_failures > budget:
+            raise CircuitOpenError(self.total_failures, budget)
+        if not quarantined_now \
+                and state.failures > self.policy.max_retries:
+            raise ShardFailedError(
+                state.shard, state.health.attempts,
+                state.health.kills,
+                [entry["device_id"] for entry in self.quarantined])
+
+        if not state.task.specs:
+            state.report = _empty_report(state.shard)
+            return
+        delay = backoff_delay(
+            self.policy.backoff_base, self.policy.backoff_cap,
+            max(1, state.failures), self.seed,
+            "supervise", state.shard, state.health.attempts)
+        state.retry_at = now + delay
+        state.health.wall_lost += delay
+
+    def _quarantine(self, state: _ShardState, device_id: int,
+                    info: Optional[Dict[str, Any]]) -> None:
+        """Excise a poison device and give the shard a fresh budget."""
+        self.quarantined.append({
+            "device_id": device_id,
+            "shard": state.shard,
+            "failures": self.device_failures.get(device_id, 0),
+            "error": info.get("error") if info else None,
+        })
+        state.task = dataclasses.replace(
+            state.task,
+            specs=tuple(spec for spec in state.task.specs
+                        if spec.device_id != device_id))
+        # The excised device's cause is gone: the shard earns a fresh
+        # retry budget, and its stale checkpoint must not linger.
+        state.failures = 0
+        if state.task.checkpoint_dir is not None:
+            try:
+                checkpoint_path(state.task.checkpoint_dir,
+                                device_id).unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # queue draining
+
+    def _state_for(self, shard: int) -> _ShardState:
+        for state in self.states:
+            if state.shard == shard:
+                return state
+        raise KeyError(f"unknown shard {shard}")
+
+    def _drain_heartbeats(self) -> None:
+        while not self._hb_queue.empty():
+            shard, attempt, device_id, events, checkpoints = \
+                self._hb_queue.get()
+            state = self._state_for(shard)
+            if attempt != state.attempt or state.proc is None:
+                continue  # stale: from an attempt already retired
+            now = time.monotonic()
+            gap = now - state.last_hb
+            state.last_hb = now
+            health = state.health
+            health.heartbeats += 1
+            health.heartbeat_gap_max = max(health.heartbeat_gap_max,
+                                           gap)
+            health.last_device = device_id
+            health.last_events = events
+
+    def _drain_results(self) -> None:
+        while not self._result_queue.empty():
+            message = self._result_queue.get()
+            kind, shard, attempt = message[0], message[1], message[2]
+            state = self._state_for(shard)
+            if attempt != state.attempt or state.proc is None \
+                    or state.done:
+                continue  # stale: attempt already killed or retired
+            if kind == "done":
+                state.proc.join()
+                state.proc = None
+                state.report = message[3]
+            else:  # "failed"
+                info = message[3]
+                state.proc.join()
+                state.proc = None
+                reason = "device_failure" \
+                    if info.get("device_id") is not None else "error"
+                self._on_failure(state, reason, info)

@@ -1,0 +1,85 @@
+"""Engine batch deadline: hung cells fail fast with a typed error.
+
+``EngineOptions.cell_timeout`` bounds the pooled path of
+:func:`repro.experiments.engine.run_cells` with a conservative batch
+deadline (``cell_timeout × ceil(pending / workers)`` — as if every
+cell on a worker ran to its full budget), so slow-but-honest grids
+never false-trip while a wedged worker raises
+:class:`~repro.experiments.engine.CellTimeoutError` instead of
+blocking the run forever.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.execpolicy import DeadlineExceeded
+from repro.experiments.engine import (
+    Cell,
+    CellTimeoutError,
+    EngineOptions,
+    register_executor,
+    run_cells,
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool workers must inherit the test-only executor",
+)
+
+
+def _sleep_cell(*, seconds: float, tag: str):
+    time.sleep(seconds)
+    return {"tag": tag}
+
+
+# Module level so forked pool workers inherit the registration.
+register_executor("test_sleeper", _sleep_cell)
+
+
+@fork_only
+class TestCellTimeout:
+    def test_hung_cells_raise_typed_error(self):
+        cells = [Cell.make("test_sleeper", label=f"hung-{i}",
+                           seconds=60.0, tag=f"hung-{i}")
+                 for i in range(2)]
+        options = EngineOptions(jobs=2, cache=None, progress=False,
+                                cell_timeout=0.5)
+        start = time.monotonic()
+        with pytest.raises(CellTimeoutError) as excinfo:
+            run_cells(cells, options)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # failed fast, not after the 60s sleeps
+        assert sorted(excinfo.value.unfinished) \
+            == ["hung-0", "hung-1"]
+        assert isinstance(excinfo.value, DeadlineExceeded)
+
+    def test_honest_cells_pass_under_deadline(self):
+        cells = [Cell.make("test_sleeper", label=f"ok-{i}",
+                           seconds=0.01, tag=f"ok-{i}")
+                 for i in range(3)]
+        options = EngineOptions(jobs=2, cache=None, progress=False,
+                                cell_timeout=30.0)
+        results = run_cells(cells, options)
+        assert [r["tag"] for r in results] == ["ok-0", "ok-1", "ok-2"]
+
+    def test_deadline_scales_with_rounds(self):
+        """Four quick cells on two workers get a two-round budget:
+        a per-cell timeout that each cell individually respects must
+        not trip even though the batch takes longer than one cell."""
+        cells = [Cell.make("test_sleeper", label=f"r-{i}",
+                           seconds=0.2, tag=f"r-{i}")
+                 for i in range(4)]
+        options = EngineOptions(jobs=2, cache=None, progress=False,
+                                cell_timeout=5.0)
+        results = run_cells(cells, options)
+        assert len(results) == 4
+
+    def test_default_is_unbounded(self):
+        options = EngineOptions(jobs=2, cache=None, progress=False)
+        assert options.cell_timeout is None
+        cells = [Cell.make("test_sleeper", label=f"u-{i}",
+                           seconds=0.01, tag=f"u-{i}")
+                 for i in range(2)]
+        assert len(run_cells(cells, options)) == 2
