@@ -51,7 +51,7 @@ from repro.nand import (
     SequenceScheme,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

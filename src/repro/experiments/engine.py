@@ -250,6 +250,18 @@ def _run_fault_cell(**params: Any) -> RunResult:
     return run_fault_workload(**params)
 
 
+def _run_physics_cell(**params: Any) -> Any:
+    from repro.reliability.runner import run_physics_workload
+
+    return run_physics_workload(**params)
+
+
+def _decode_physics(data: Dict[str, Any]) -> Any:
+    from repro.reliability.runner import PhysicsRunResult
+
+    return PhysicsRunResult.from_dict(data)
+
+
 def _encode_qos(result: Any) -> Dict[str, Any]:
     return result.to_dict()
 
@@ -281,6 +293,9 @@ register_executor("qos_workload", _run_qos_cell,
 register_executor("fault_workload", _run_fault_cell,
                   encode=lambda result: result.to_dict(),
                   decode=RunResult.from_dict)
+register_executor("physics_workload", _run_physics_cell,
+                  encode=lambda result: result.to_dict(),
+                  decode=_decode_physics)
 
 
 def workload_cell(

@@ -77,7 +77,8 @@ def get(name: str) -> Experiment:
 #: experiment not listed appears afterwards in registration order.
 CLI_ORDER = ("table1", "fig4", "fig8", "recovery", "ablation",
              "endurance", "scaling", "latency", "tlc", "qos_isolation",
-             "fault_campaign", "scenario", "scenario_grid", "run",
+             "fault_campaign", "lifetime_physics", "scenario",
+             "scenario_grid", "run",
              "serve", "perfbench", "trace")
 
 
@@ -114,6 +115,7 @@ def load_all() -> None:
     import repro.experiments.tlc_system  # noqa: F401
     import repro.experiments.qos_isolation  # noqa: F401
     import repro.experiments.fault_campaign  # noqa: F401
+    import repro.experiments.lifetime_physics  # noqa: F401
     import repro.scenarios.cli  # noqa: F401
     import repro.experiments.scenario_grid  # noqa: F401
     import repro.experiments.single_run  # noqa: F401

@@ -35,6 +35,8 @@ PARITY_WRITE = "parity.write"
 PARITY_REWIND = "parity.rewind"
 FAULT_INJECT = "fault.inject"
 FAULT_RECOVER = "fault.recover"
+RELIABILITY_READ_ERROR = "reliability.read_error"
+RELIABILITY_RETRY_SHIFT = "reliability.retry_shift"
 QOS_ADMIT = "qos.admit"
 QOS_ARBITRATE = "qos.arbitrate"
 PROFILE_PHASE = "profile.phase"
@@ -122,6 +124,25 @@ EVENT_SCHEMA: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("outcome", "retried | reconstructed | lost | redriven | "
                     "retired"),
         ("pages", "pages the outcome applies to"),
+    ),
+    RELIABILITY_READ_ERROR: (
+        ("chip", "global chip id the failed host read landed on"),
+        ("block", "chip-local block id"),
+        ("page", "page index within the block"),
+        ("ber", "expected raw BER of the read (rung 0, unshifted "
+                "references), from the physics engine's closed form"),
+        ("prob", "page ECC-failure probability the error was drawn "
+                 "from"),
+    ),
+    RELIABILITY_RETRY_SHIFT: (
+        ("chip", "global chip id"),
+        ("block", "chip-local block id"),
+        ("page", "page index within the block"),
+        ("shift", "read-reference voltage shift of this retry rung "
+                  "(volts; negative tracks retention loss, positive "
+                  "tracks aggressor coupling)"),
+        ("recovered", "1 when this rung's re-read passed hard ECC "
+                      "(ladder ends), 0 when it failed onward"),
     ),
     QOS_ADMIT: (
         ("tenant", "tenant name"),

@@ -14,12 +14,14 @@ import argparse
 from repro.experiments import registry
 from repro.experiments.engine import EngineOptions
 from repro.perfbench.harness import (
+    PHYSICS_OVERHEAD_BUDGET_PCT,
     QOS_WORKLOADS,
     SCENARIO_REPLAY,
     TRACE_OVERHEAD_BUDGET_PCT,
     WORKLOADS,
     PerfbenchResult,
     run_perfbench,
+    run_physics_overhead,
     run_scale_sweep,
     run_trace_overhead,
 )
@@ -64,6 +66,13 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
              "throughput: alternating untraced/traced rounds of one "
              "workload, median rates compared (see --overhead-budget)")
     parser.add_argument(
+        "--physics-overhead", action="store_true",
+        help="measure the armed physics-error-engine overhead instead "
+             "of raw throughput: alternating plain/armed rounds of one "
+             "workload, both arms with track_history=True "
+             f"(budget {PHYSICS_OVERHEAD_BUDGET_PCT:g}% unless "
+             "--overhead-budget is given)")
+    parser.add_argument(
         "--scale-sweep", action="store_true",
         help="benchmark one workload at 1x/4x/16x chip counts, new "
              "config vs the heap/event oracle on identical streams "
@@ -78,12 +87,13 @@ def _cli_arguments(parser: argparse.ArgumentParser) -> None:
              "--scale-sweep; each must be a perfect square "
              "(default 1,4,16)")
     parser.add_argument(
-        "--overhead-budget", type=float,
-        default=TRACE_OVERHEAD_BUDGET_PCT, metavar="PCT",
-        help="maximum acceptable tracing overhead percent for "
-             "--trace-overhead; this run is judged (and its JSON "
-             "records passed/failed) against exactly this value "
-             f"(default {TRACE_OVERHEAD_BUDGET_PCT:g})")
+        "--overhead-budget", type=float, default=None, metavar="PCT",
+        help="maximum acceptable overhead percent for "
+             "--trace-overhead / --physics-overhead; the run is "
+             "judged (and its JSON records passed/failed) against "
+             f"exactly this value (default "
+             f"{TRACE_OVERHEAD_BUDGET_PCT:g} for tracing, "
+             f"{PHYSICS_OVERHEAD_BUDGET_PCT:g} for physics)")
     parser.add_argument(
         "--kernel", choices=("calendar", "heap"), default="calendar",
         help="event-queue implementation to benchmark "
@@ -98,9 +108,13 @@ def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
     del engine_options  # serial by design; see module docstring
     workloads = args.workloads.split(",") if args.workloads else None
     scale = QUICK_SCALE if args.quick else args.scale
-    if args.trace_overhead and args.scale_sweep:
+    modes = [name for name, flag in
+             (("--trace-overhead", args.trace_overhead),
+              ("--physics-overhead", args.physics_overhead),
+              ("--scale-sweep", args.scale_sweep)) if flag]
+    if len(modes) > 1:
         raise registry.CliError(
-            "--trace-overhead and --scale-sweep are mutually exclusive")
+            f"{' and '.join(modes)} are mutually exclusive")
     if args.trace_overhead:
         workload = workloads[0] if workloads else "fig8_write"
         try:
@@ -109,7 +123,24 @@ def _cli_run(args: argparse.Namespace, engine_options: EngineOptions):
                 scale=scale,
                 seed=args.seed,
                 rounds=args.rounds if args.rounds is not None else 5,
-                budget_pct=args.overhead_budget,
+                budget_pct=(args.overhead_budget
+                            if args.overhead_budget is not None
+                            else TRACE_OVERHEAD_BUDGET_PCT),
+                output_path=args.output,
+            )
+        except (KeyError, ValueError) as error:
+            raise registry.CliError(str(error.args[0])) from error
+    if args.physics_overhead:
+        workload = workloads[0] if workloads else "fig8_write"
+        try:
+            return run_physics_overhead(
+                workload=workload,
+                scale=scale,
+                seed=args.seed,
+                rounds=args.rounds if args.rounds is not None else 5,
+                budget_pct=(args.overhead_budget
+                            if args.overhead_budget is not None
+                            else PHYSICS_OVERHEAD_BUDGET_PCT),
                 output_path=args.output,
             )
         except (KeyError, ValueError) as error:

@@ -69,6 +69,24 @@ BASE_PASSES = 3
 #: best-of overhead is well under it (see docs/PERFORMANCE.md).
 TRACE_OVERHEAD_BUDGET_PCT = 20.0
 
+#: Default acceptable armed-physics slowdown (percent) for
+#: ``--physics-overhead``.  The physics error engine costs more than
+#: tracing by design — every op completion updates per-block history
+#: state and every sampled host read fetches a (memoized) closed-form
+#: failure probability and draws from the RNG stream — and both arms
+#: must run with ``track_history=True`` (the engine's prerequisite),
+#: so the budget only bounds the engine itself, not the history
+#: bookkeeping.  Recorded in ``BENCH_PR10.json``.
+PHYSICS_OVERHEAD_BUDGET_PCT = 30.0
+
+#: Baseline stress point of the physics-overhead guard: worn and aged
+#: enough that probability lookups span many distinct memoization keys,
+#: but below the ECC cliff so ladder recoveries stay rare — the guard
+#: times the per-read sampling path, not the (intentionally expensive)
+#: error ladder.
+PHYSICS_BENCH_PE = 3000
+PHYSICS_BENCH_RETENTION_HOURS = 8760.0
+
 #: Chip-count multipliers of ``--scale-sweep`` (geometry grows by
 #: ``sqrt(m)`` per axis, so the chip count scales by exactly ``m``).
 SWEEP_MULTIPLIERS = (1, 4, 16)
@@ -386,6 +404,48 @@ def time_traced_workload(name: str, streams: Sequence[List[StreamOp]],
     )
 
 
+def time_physics_workload(name: str, streams: Sequence[List[StreamOp]],
+                          config: ExperimentConfig,
+                          warmup_span: int,
+                          physics) -> WorkloadTiming:
+    """Time one workload with the physics error engine armed.
+
+    Identical timed region to :func:`time_workload` — fresh system,
+    warm-up fill included — with the engine attached between fill and
+    measured workload (the supported arming point), so its
+    history-priming pass *and* its per-completion/per-read costs are
+    all inside the clock, exactly how a real armed run pays for them.
+    ``config`` must have ``track_history=True`` (the engine's
+    prerequisite); pass the same config to the untraced arm so the
+    comparison isolates the engine.
+    """
+    from repro.reliability.physics import PhysicsEngine
+
+    sim, _array, _buffer, _ftl, controller = build_system(BENCH_FTL,
+                                                          config)
+    host_ops = sum(len(s) for s in streams)
+    with _quiesced_gc():
+        start = time.perf_counter()
+        fill = sequential_fill(warmup_span)
+        warm = ClosedLoopHost(sim, controller, [fill])
+        warm.start()
+        sim.run()
+        controller.attach_physics(PhysicsEngine(physics))
+        host = ClosedLoopHost(sim, controller, list(streams))
+        host.start()
+        sim.run()
+        wall = time.perf_counter() - start
+    total_ops = host_ops + len(fill)
+    return WorkloadTiming(
+        name=name,
+        events=sim.processed,
+        host_ops=total_ops,
+        wall_seconds=wall,
+        events_per_sec=sim.processed / wall,
+        host_ops_per_sec=total_ops / wall,
+    )
+
+
 def time_scenario_replay(name: str, path: str, host_ops: int,
                          config: ExperimentConfig,
                          warmup_span: int) -> WorkloadTiming:
@@ -595,6 +655,145 @@ def run_trace_overhead(
                                      span).events_per_sec)
 
     result = TraceOverheadResult(
+        workload=workload,
+        scale=scale,
+        span=span,
+        rounds=rounds,
+        off=off,
+        on=on,
+        budget_pct=budget_pct,
+    )
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+@dataclasses.dataclass
+class PhysicsOverheadResult(TraceOverheadResult):
+    """Outcome of ``repro perfbench --physics-overhead``.
+
+    Same paired-measurement estimators as
+    :class:`TraceOverheadResult` (best-of headline, paired-median
+    cross-check, alternating within-pair order), applied to the
+    physics-grounded error engine: ``off`` runs plain, ``on`` runs
+    with a :class:`~repro.reliability.physics.PhysicsEngine` armed at
+    the :data:`PHYSICS_BENCH_PE`/:data:`PHYSICS_BENCH_RETENTION_HOURS`
+    stress point.  Both arms keep ``track_history=True`` so the
+    overhead is the engine's alone.
+    """
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON projection (the ``BENCH_PR10.json`` schema)."""
+        return {
+            "ftl": BENCH_FTL,
+            "workload": self.workload,
+            "scale": self.scale,
+            "span": self.span,
+            "rounds": self.rounds,
+            "python": platform.python_version(),
+            "physics": {
+                "pe_baseline": PHYSICS_BENCH_PE,
+                "retention_baseline_hours": PHYSICS_BENCH_RETENTION_HOURS,
+            },
+            "methodology": (
+                "paired plain/physics-armed runs on fresh systems "
+                "(both arms track_history=True, the engine's "
+                "prerequisite) with within-pair order alternating per "
+                "pair, fill + engine arming + workload inside the "
+                "timed region; headline overhead compares the best "
+                "(fastest) observation of each arm because noise is "
+                "strictly additive; the median of per-pair ratios is "
+                "the drift-robust cross-check"),
+            "events_per_sec": {"off": list(self.off),
+                               "on": list(self.on)},
+            "pair_overheads_pct": self.pair_overheads_pct(),
+            "summary": {
+                "best_off": self.best_off(),
+                "best_on": self.best_on(),
+                "overhead_pct": self.overhead_pct(),
+                "paired_median_pct": self.paired_median_pct(),
+                "budget_pct": self.budget_pct,
+                "passed": self.passed(),
+            },
+        }
+
+    def render(self) -> str:
+        rows = [
+            f"physics overhead: {self.workload} x{self.rounds} pairs "
+            f"(scale {self.scale:g}, pe={PHYSICS_BENCH_PE}, "
+            f"ret={PHYSICS_BENCH_RETENTION_HOURS:g}h)",
+            f"{'pair':>5s} {'off ev/s':>10s} {'on ev/s':>10s} "
+            f"{'pair %':>8s}",
+        ]
+        pair_pcts = self.pair_overheads_pct()
+        for index, (off, on) in enumerate(zip(self.off, self.on)):
+            rows.append(f"{index:>5d} {off:>10.0f} {on:>10.0f} "
+                        f"{pair_pcts[index]:>+8.2f}")
+        rows.append("")
+        verdict = "PASS" if self.passed() else "FAIL"
+        rows.append(
+            f"best off {self.best_off():.0f} ev/s, "
+            f"on {self.best_on():.0f} ev/s -> "
+            f"{self.overhead_pct():.2f}% overhead "
+            f"(paired median {self.paired_median_pct():+.2f}%, "
+            f"budget {self.budget_pct:g}%): {verdict}")
+        return "\n".join(rows)
+
+
+def run_physics_overhead(
+    workload: str = "fig8_write",
+    scale: float = 1.0,
+    seed: int = 1,
+    rounds: int = 5,
+    budget_pct: float = PHYSICS_OVERHEAD_BUDGET_PCT,
+    output_path: Optional[str] = None,
+) -> PhysicsOverheadResult:
+    """Measure the armed-physics slowdown against ``budget_pct``.
+
+    The physics twin of :func:`run_trace_overhead`: ``rounds`` pairs
+    of plain and physics-armed executions of one :data:`WORKLOADS`
+    workload, within-pair order alternating, best observation of each
+    arm compared.  Both arms run with ``track_history=True`` (the
+    engine cannot prime without block histories), so the reported
+    overhead is the engine's sampling/bookkeeping cost alone — the
+    history-tracking cost itself is covered by ``--full-history`` on
+    the main benchmark.
+    """
+    from repro.reliability.physics import PhysicsConfig
+
+    if workload not in WORKLOADS:
+        raise KeyError(f"unknown workload {workload!r}; physics "
+                       f"overhead supports {sorted(WORKLOADS)}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    config = ExperimentConfig(track_history=True)
+    _, _, _, probe, _ = build_system(BENCH_FTL, config)
+    span = max(1, int(probe.logical_pages * BENCH_UTILIZATION))
+    streams = WORKLOADS[workload](span, scale, seed)
+    physics = PhysicsConfig(
+        pe_baseline=PHYSICS_BENCH_PE,
+        retention_baseline_hours=PHYSICS_BENCH_RETENTION_HOURS,
+    )
+
+    off: List[float] = []
+    on: List[float] = []
+    for index in range(rounds):
+        if index % 2 == 0:
+            off.append(time_workload(workload, streams, config,
+                                     span).events_per_sec)
+            on.append(time_physics_workload(workload, streams, config,
+                                            span,
+                                            physics).events_per_sec)
+        else:
+            on.append(time_physics_workload(workload, streams, config,
+                                            span,
+                                            physics).events_per_sec)
+            off.append(time_workload(workload, streams, config,
+                                     span).events_per_sec)
+
+    result = PhysicsOverheadResult(
         workload=workload,
         scale=scale,
         span=span,

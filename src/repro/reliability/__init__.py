@@ -14,7 +14,11 @@ silicon, so this subpackage provides the closest synthetic equivalent:
 * :mod:`repro.reliability.ber` adds P/E-cycling noise and retention
   loss and derives gray-coded bit error rates;
 * :mod:`repro.reliability.montecarlo` drives the block/page population
-  of Figure 4 (90+ blocks, 5000+ pages).
+  of Figure 4 (90+ blocks, 5000+ pages);
+* :mod:`repro.reliability.physics` arms the same models inside the live
+  simulation (a seeded runtime error engine driven by each page's real
+  program/read history), and :mod:`repro.reliability.runner` runs whole
+  workloads with it attached.
 """
 
 from repro.reliability.interference import (
@@ -23,7 +27,12 @@ from repro.reliability.interference import (
     max_aggressors,
 )
 from repro.reliability.vth import MlcVthModel, PageVthSample, simulate_page_vth
-from repro.reliability.ber import OperatingCondition, page_bit_error_rate
+from repro.reliability.ber import (
+    OperatingCondition,
+    StressModel,
+    expected_page_ber,
+    page_bit_error_rate,
+)
 from repro.reliability.ecc import (
     EccConfig,
     codeword_failure_probability,
@@ -35,6 +44,14 @@ from repro.reliability.montecarlo import (
     ReliabilityResult,
     run_reliability_experiment,
 )
+from repro.reliability.physics import (
+    PhysicsConfig,
+    PhysicsEngine,
+    ReadOutcome,
+    oracle_page_state,
+    oracle_read_probability,
+)
+from repro.reliability.runner import PhysicsRunResult, run_physics_workload
 
 __all__ = [
     "aggressor_counts",
@@ -44,6 +61,8 @@ __all__ = [
     "PageVthSample",
     "simulate_page_vth",
     "OperatingCondition",
+    "StressModel",
+    "expected_page_ber",
     "page_bit_error_rate",
     "EccConfig",
     "codeword_failure_probability",
@@ -52,4 +71,11 @@ __all__ = [
     "BoxStats",
     "ReliabilityResult",
     "run_reliability_experiment",
+    "PhysicsConfig",
+    "PhysicsEngine",
+    "ReadOutcome",
+    "oracle_page_state",
+    "oracle_read_probability",
+    "PhysicsRunResult",
+    "run_physics_workload",
 ]

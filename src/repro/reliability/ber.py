@@ -10,38 +10,60 @@ stress components the way the flash literature describes them:
 * **Retention** leaks stored charge; programmed states drift down
   (left), by an amount that grows logarithmically with time and is
   amplified by prior cycling damage.
+* **Read disturb** weakly programs the block's unselected cells: the
+  erased state creeps up (right) with the number of reads the block
+  absorbed since the page was programmed.
 
 Combined with the interference right-shift from aggressor programs,
 these produce gray-coded bit errors at the read references.
+
+Two evaluators share the model.  :func:`page_bit_error_rate` is the
+Monte-Carlo oracle (sample a cell population, count gray-coded
+mismatches); :func:`expected_page_ber` is the closed-form expectation
+of the same experiment (Gaussian state mixtures against the read
+references, with the aggressor rectified-normal sum moment-matched).
+The runtime physics engine (:mod:`repro.reliability.physics`) uses the
+closed form on every read; the differential tests pin the two together.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.reliability.vth import MlcVthModel, bit_errors, simulate_page_vth
+from repro.reliability.vth import (
+    GRAY_CODE,
+    MlcVthModel,
+    bit_errors,
+    simulate_page_vth,
+)
 
 
 @dataclasses.dataclass(frozen=True)
 class OperatingCondition:
-    """A P/E-cycling + retention stress point.
+    """A P/E-cycling + retention + read-disturb stress point.
 
     Attributes:
         pe_cycles: program/erase cycles endured before the measurement.
         retention_hours: elapsed time since programming, in hours.
+        read_disturbs: reads the page's block absorbed since the page
+            was programmed.
     """
 
     pe_cycles: int = 0
     retention_hours: float = 0.0
+    read_disturbs: int = 0
 
     def __post_init__(self) -> None:
         if self.pe_cycles < 0:
             raise ValueError("pe_cycles must be non-negative")
         if self.retention_hours < 0:
             raise ValueError("retention_hours must be non-negative")
+        if self.read_disturbs < 0:
+            raise ValueError("read_disturbs must be non-negative")
 
 
 #: The paper's worst-case condition: 3K P/E cycles and 1-year retention.
@@ -59,11 +81,14 @@ class StressModel:
             retention hours at zero cycling damage.
         retention_cycling_factor: how strongly cycling damage amplifies
             retention loss (fraction per 1000 cycles).
+        read_disturb_coeff: upward shift (volts) of the erased state per
+            decade of block reads since the page was programmed.
     """
 
     cycling_sigma_per_kcycle: float = 0.025
     retention_shift_coeff: float = 0.005
     retention_cycling_factor: float = 0.65
+    read_disturb_coeff: float = 0.02
 
     def extra_sigma(self, condition: OperatingCondition) -> float:
         """Additional Gaussian noise std-dev from cycling damage."""
@@ -78,6 +103,13 @@ class StressModel:
             * condition.pe_cycles / 1000.0
         return -self.retention_shift_coeff * decades * amplification
 
+    def disturb_shift(self, condition: OperatingCondition) -> float:
+        """Upward Vth shift of the erased state (positive volts)."""
+        if condition.read_disturbs <= 0:
+            return 0.0
+        return self.read_disturb_coeff * math.log10(
+            1.0 + condition.read_disturbs)
+
 
 def page_bit_error_rate(
     aggressors: int,
@@ -85,15 +117,18 @@ def page_bit_error_rate(
     model: Optional[MlcVthModel] = None,
     stress: Optional[StressModel] = None,
     rng: Optional[np.random.Generator] = None,
+    ref_shift: float = 0.0,
 ) -> float:
     """Monte-Carlo raw BER of one word line.
 
     Args:
         aggressors: aggressor program count for the word line.
-        condition: cycling/retention stress point.
+        condition: cycling/retention/read-disturb stress point.
         model: Vth model parameters.
         stress: stress-translation coefficients.
         rng: numpy random generator (seeded by the caller).
+        ref_shift: common shift applied to the read references — the
+            voltage-shift read-retry knob.
 
     Returns:
         Raw bit error rate (bit errors / stored bits) of the word line.
@@ -106,6 +141,136 @@ def page_bit_error_rate(
         rng=rng,
         extra_shift=stress.retention_shift(condition),
         extra_sigma=stress.extra_sigma(condition),
+        disturb_shift=stress.disturb_shift(condition),
     )
     total_bits = 2 * model.cells_per_page
-    return bit_errors(sample) / total_bits
+    return bit_errors(sample, ref_shift=ref_shift) / total_bits
+
+
+def _norm_cdf(x: float, mu: float, sigma: float) -> float:
+    """Gaussian CDF via :func:`math.erf` (no scipy dependency here)."""
+    return 0.5 * (1.0 + math.erf((x - mu) / (sigma * math.sqrt(2.0))))
+
+
+def _rectified_moments(mean: float, std: float) -> Tuple[float, float]:
+    """Mean and variance of ``max(N(mean, std), 0)``.
+
+    The Monte-Carlo model clips each aggressor's per-cell movement at
+    zero; this is the matching rectified-Gaussian moment pair used to
+    approximate the k-aggressor coupling sum with a normal.
+    """
+    if std <= 0.0:
+        m = max(mean, 0.0)
+        return m, 0.0
+    alpha = mean / std
+    phi = math.exp(-0.5 * alpha * alpha) / math.sqrt(2.0 * math.pi)
+    cdf = 0.5 * (1.0 + math.erf(alpha / math.sqrt(2.0)))
+    first = mean * cdf + std * phi
+    second = (mean * mean + std * std) * cdf + mean * std * phi
+    return first, max(second - first * first, 0.0)
+
+
+def expected_page_ber(
+    aggressors: int,
+    condition: OperatingCondition = WORST_CASE,
+    model: Optional[MlcVthModel] = None,
+    stress: Optional[StressModel] = None,
+    *,
+    ref_shift: float = 0.0,
+    page: str = "both",
+    finalized: bool = True,
+) -> float:
+    """Closed-form expected raw BER of one word line.
+
+    The analytic counterpart of :func:`page_bit_error_rate`: each of the
+    four MLC states is a Gaussian (centre shifted by retention or read
+    disturb, variance widened by cycling damage and the moment-matched
+    aggressor coupling sum); the confusion matrix against the (possibly
+    shifted) read references is integrated exactly, and gray-coded bit
+    mismatches are weighted by uniform state priors.  The runtime
+    physics engine evaluates this on every read; the Monte-Carlo
+    function above is kept as the convergence oracle.
+
+    Args:
+        aggressors: aggressor program count for the word line.
+        condition: cycling/retention/read-disturb stress point.
+        model: Vth model parameters.
+        stress: stress-translation coefficients.
+        ref_shift: common shift applied to the read references — each
+            voltage-shift retry rung re-evaluates this function with a
+            different shift (arXiv:2209.01424).
+        page: ``"lsb"``, ``"msb"``, or ``"both"`` — which of the word
+            line's pages (gray bit columns) the BER is computed over.
+        finalized: ``False`` models a word line whose MSB page is not
+            yet programmed: one bit in two widely separated states
+            (erased vs the intermediate ``lsb_center`` state), read
+            binary against ``read_refs[0]`` — the SLC-like margin
+            unfinalised RPS pages enjoy.
+
+    Returns:
+        Expected raw bit error rate in ``[0, 1]``.
+    """
+    if page not in ("lsb", "msb", "both"):
+        raise ValueError("page must be 'lsb', 'msb' or 'both'")
+    model = model or MlcVthModel()
+    stress = stress or StressModel()
+
+    agg_mean_1, agg_var_1 = _rectified_moments(
+        model.aggressor_shift_mean, model.aggressor_shift_std)
+    c = model.coupling_ratio
+    agg_mean = aggressors * c * agg_mean_1
+    agg_var = aggressors * c * c * agg_var_1
+
+    extra_sigma = stress.extra_sigma(condition)
+    retention = stress.retention_shift(condition)
+    disturb = stress.disturb_shift(condition)
+
+    def state_params(state: int, center: float,
+                     base_sigma: float) -> Tuple[float, float]:
+        mu = center + agg_mean + (disturb if state == 0 else retention)
+        var = base_sigma * base_sigma + extra_sigma * extra_sigma + agg_var
+        return mu, math.sqrt(var)
+
+    if not finalized:
+        # LSB-only word line: erased (bit 1) vs intermediate (bit 0),
+        # one reference.  Retention acts on the charged intermediate
+        # state, read disturb on the erased one.
+        ref = model.read_refs[0] + ref_shift
+        mu_e, sig_e = state_params(0, model.state_centers[0],
+                                   model.sigma_erased)
+        mu_i, sig_i = state_params(1, model.lsb_center,
+                                   model.sigma_programmed)
+        # Error if an erased cell reads above the ref, or an
+        # intermediate cell reads at/below it.
+        p = 0.5 * (1.0 - _norm_cdf(ref, mu_e, sig_e)) \
+            + 0.5 * _norm_cdf(ref, mu_i, sig_i)
+        return min(max(p, 0.0), 1.0)
+
+    sigmas = (model.sigma_erased, model.sigma_programmed,
+              model.sigma_programmed, model.sigma_programmed)
+    refs = [r + ref_shift for r in model.read_refs]
+    gray = GRAY_CODE
+    if page == "lsb":
+        bits = (0,)
+    elif page == "msb":
+        bits = (1,)
+    else:
+        bits = (0, 1)
+
+    total = 0.0
+    for stored in range(4):
+        mu, sig = state_params(stored, model.state_centers[stored],
+                               sigmas[stored])
+        # P(read state j | stored) from the Gaussian mass between refs.
+        cdfs = [_norm_cdf(r, mu, sig) for r in refs]
+        probs = (cdfs[0], cdfs[1] - cdfs[0], cdfs[2] - cdfs[1],
+                 1.0 - cdfs[2])
+        for observed in range(4):
+            if observed == stored:
+                continue
+            mismatches = sum(
+                1 for b in bits if gray[stored][b] != gray[observed][b])
+            if mismatches:
+                total += 0.25 * probs[observed] * mismatches
+    ber = total / len(bits)
+    return min(max(ber, 0.0), 1.0)

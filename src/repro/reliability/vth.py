@@ -42,6 +42,12 @@ class MlcVthModel:
         aggressor_shift_std: per-cell variation of that movement.
         cells_per_page: Monte-Carlo population per page.
         width_quantiles: lower/upper quantiles defining a state's width.
+        lsb_center: Vth centre of the *intermediate* state an LSB-only
+            program leaves behind on a word line whose MSB page is not
+            yet written.  Such a word line stores one bit in two widely
+            separated states (erased vs intermediate, read against
+            ``read_refs[0]``), which is why unfinalised RPS pages enjoy
+            SLC-like error margins.
     """
 
     state_centers: Tuple[float, float, float, float] = (-2.8, 0.9, 1.9, 2.9)
@@ -53,6 +59,7 @@ class MlcVthModel:
     aggressor_shift_std: float = 0.55
     cells_per_page: int = 4096
     width_quantiles: Tuple[float, float] = (0.005, 0.995)
+    lsb_center: float = 1.4
 
     def __post_init__(self) -> None:
         if len(self.state_centers) != 4 or len(self.read_refs) != 3:
@@ -96,6 +103,7 @@ def simulate_page_vth(
     rng: Optional[np.random.Generator] = None,
     extra_shift: float = 0.0,
     extra_sigma: float = 0.0,
+    disturb_shift: float = 0.0,
 ) -> PageVthSample:
     """Simulate the final Vth of one word line's cells.
 
@@ -109,6 +117,10 @@ def simulate_page_vth(
             negative) applied to programmed states.
         extra_sigma: additional per-cell Gaussian noise std-dev (e.g.
             P/E-cycling damage).
+        disturb_shift: additional positive Vth shift applied to
+            *erased* cells only — read disturb weakly programs the
+            block's unselected cells, pushing the erased state toward
+            the first read reference.
 
     Returns:
         A :class:`PageVthSample` with random data (uniform over the 4
@@ -137,19 +149,29 @@ def simulate_page_vth(
         # Retention charge loss affects programmed states (stored charge
         # leaks); the erased state barely moves.
         vth = vth + np.where(states == 0, 0.0, extra_shift)
+    if disturb_shift != 0.0:
+        # Read disturb is the dual: the erased state creeps up, the
+        # programmed states barely move.
+        vth = vth + np.where(states == 0, disturb_shift, 0.0)
     return PageVthSample(states=states, vth=vth, model=model)
 
 
-def read_states(sample: PageVthSample) -> np.ndarray:
-    """Read back each cell's state by comparing Vth to the read refs."""
-    refs = np.asarray(sample.model.read_refs)
+def read_states(sample: PageVthSample,
+                ref_shift: float = 0.0) -> np.ndarray:
+    """Read back each cell's state by comparing Vth to the read refs.
+
+    ``ref_shift`` moves all three references together — the voltage-
+    shift read-retry knob (arXiv:2209.01424): a negative shift tracks
+    retention charge loss, recovering margin without rewriting data.
+    """
+    refs = np.asarray(sample.model.read_refs) + ref_shift
     return np.searchsorted(refs, sample.vth, side="left")
 
 
-def bit_errors(sample: PageVthSample) -> int:
+def bit_errors(sample: PageVthSample, ref_shift: float = 0.0) -> int:
     """Gray-coded bit errors when reading the sampled word line."""
     gray = np.asarray(GRAY_CODE)
-    observed = np.clip(read_states(sample), 0, 3)
+    observed = np.clip(read_states(sample, ref_shift), 0, 3)
     stored_bits = gray[sample.states]
     read_bits = gray[observed]
     return int(np.sum(stored_bits != read_bits))

@@ -135,6 +135,61 @@ def _fileserver(footprint: int, total_ops: int, seed: int, fill: bool
                             hot_fraction=0.2)
 
 
+def _hot_rewrite(footprint: int, total_ops: int, seed: int, fill: bool
+                 ) -> WorkloadScenario:
+    """Hot data rewritten constantly: the retention-friendly extreme.
+
+    A small hot set absorbs nearly all writes, so pages are re-programmed
+    long before retention or read disturb accumulate — errors are
+    dominated by program interference, which the in-block program order
+    (RPS vs FPS) controls directly.
+    """
+    first, second = _split(total_ops, 0.5, 0.5)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases.append(
+        Phase(name="churn", kind="steady", ops=first,
+              read_fraction=0.5, npages=(1, 2), hot=0.9, zipf_s=1.2))
+    if second > 0:
+        phases.append(Phase(name="breather", kind="idle", idle=0.02))
+        phases.append(
+            Phase(name="churn-2", kind="steady", ops=second,
+                  read_fraction=0.5, npages=(1, 2), hot=0.9, zipf_s=1.2))
+    return WorkloadScenario(name="hot_rewrite", footprint=footprint,
+                            streams=8, phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.1)
+
+
+def _cold_aging(footprint: int, total_ops: int, seed: int, fill: bool
+                ) -> WorkloadScenario:
+    """Cold data aging out: the retention-stress extreme.
+
+    Writes mostly stop after an initial burst; long idle windows let the
+    retention clock advance, and the later read-heavy phases repeatedly
+    scan the same aged pages, accumulating read disturb on blocks whose
+    data is never refreshed.
+    """
+    write_burst, scan, late_scan = _split(total_ops, 0.3, 0.4, 0.3)
+    phases: List[Phase] = [_fill_phase()] if fill else []
+    phases.append(
+        Phase(name="ingest", kind="steady", ops=write_burst,
+              read_fraction=0.1, npages=(4,), hot=0.3, zipf_s=0.8))
+    phases.append(Phase(name="shelf", kind="idle", idle=0.50))
+    # Tiny op budgets can round a scan phase to zero ops; a steady
+    # phase refuses ops=0, so only build the phases that drew any.
+    if scan > 0:
+        phases.append(
+            Phase(name="scan", kind="steady", ops=scan,
+                  read_fraction=0.95, npages=(2,), hot=0.7, zipf_s=1.0))
+        phases.append(Phase(name="shelf-2", kind="idle", idle=0.50))
+    if late_scan > 0:
+        phases.append(
+            Phase(name="scan-2", kind="steady", ops=late_scan,
+                  read_fraction=0.95, npages=(2,), hot=0.7, zipf_s=1.0))
+    return WorkloadScenario(name="cold_aging", footprint=footprint,
+                            streams=4, phases=_schedule(phases), seed=seed,
+                            hot_fraction=0.25)
+
+
 #: preset name -> registry entry.  The first four are Table 1's
 #: Figure-8 workloads; ``ntrx`` is the fifth Table-1 mix.
 PRESETS: Dict[str, PresetInfo] = {
@@ -158,6 +213,16 @@ PRESETS: Dict[str, PresetInfo] = {
         "ntrx", 0.3,
         "Sysbench NTRX: the OLTP shape with a 3:7 read:write mix",
         _ntrx),
+    "hot_rewrite": PresetInfo(
+        "hot_rewrite", 0.5,
+        "Hot churn: a small set rewritten constantly (interference-"
+        "dominated reliability)",
+        _hot_rewrite),
+    "cold_aging": PresetInfo(
+        "cold_aging", 0.695,
+        "Cold aging: write once, shelve, then scan repeatedly "
+        "(retention/read-disturb-dominated reliability)",
+        _cold_aging),
 }
 
 #: Table 1's Figure-8 four, in the paper's order.

@@ -136,6 +136,10 @@ class StorageController:
         #: fault injector consulted after every completed flash op, or
         #: None (the default: fault-free runs pay one None check per op)
         self._injector = None
+        #: physics-grounded error engine (repro.reliability.physics) or
+        #: None (the default: physics-free runs pay one None check per op)
+        self._physics = None
+        self._physics_hist = None
         #: True once the spare-block reserve is exhausted: writes are
         #: rejected with ReadOnlyDeviceError, reads keep being served
         self.read_only = False
@@ -518,6 +522,23 @@ class StorageController:
                 # Read recovery defers this op's completion; the chip
                 # stays busy until the retry ladder finishes.
                 return
+        if self._physics is not None:
+            kind = op.kind
+            addr = op.addr
+            if kind is OpKind.READ:
+                outcome = self._physics.on_read(
+                    chip_id, addr.block, addr.page, self.sim.now,
+                    sample=op.tag == "host")
+                if outcome is not None and self._note_physics_read(
+                        chip_id, op, read_request, outcome):
+                    # Voltage-shift ladder in progress: the chip stays
+                    # busy until _finish_read_recovery.
+                    return
+            elif kind is OpKind.PROGRAM:
+                self._physics.note_program(chip_id, addr.block, addr.page,
+                                           self.sim.now)
+            else:
+                self._physics.note_erase(chip_id, addr.block)
         self._busy[chip_id] = False
         insort(self._idle, chip_id)
         self.in_flight.pop(chip_id, None)
@@ -599,6 +620,106 @@ class StorageController:
         self._injector = injector
         self.ftl.fault_stats = self.ensure_fault_stats()
 
+    def attach_physics(self, engine) -> None:
+        """Arm the physics-grounded error engine for the rest of the run.
+
+        ``engine`` (:class:`repro.reliability.physics.PhysicsEngine`)
+        is consulted after every completed flash op: programs and
+        erases update its history bookkeeping, host reads sample a
+        bit-error outcome against the page's actual aggressor count,
+        P/E wear, retention age and read-disturb exposure.  Attaching
+        binds the engine to the array and replays each block's recorded
+        program history (requires ``track_history=True`` blocks), so
+        attach after warmup to measure at a warmed state.
+
+        When a fault injector is also armed it takes precedence: a read
+        the injector defers into its own ladder is not double-sampled.
+        """
+        engine.bind(self.array, self.sim.now)
+        self._physics = engine
+        self.ftl.fault_stats = self.ensure_fault_stats()
+
+    def _note_physics_read(self, chip_id: int, op: FlashOp,
+                           read_request: Optional[Request],
+                           outcome) -> bool:
+        """Record a sampled read; walk the shift ladder on error.
+
+        Returns True when the op's completion is deferred (the ladder's
+        extra latency is being charged)."""
+        metrics = self._metrics
+        if metrics is not None:
+            hist = self._physics_hist
+            if hist is None:
+                hist = self._physics_hist = metrics.histogram(
+                    "reliability.read_ber",
+                    bounds=(1e-9, 1e-8, 1e-7, 1e-6, 1e-5,
+                            1e-4, 1e-3, 1e-2, 1e-1))
+            hist.observe(outcome.ber)
+        if not outcome.error:
+            return False
+        return self._begin_physics_recovery(chip_id, op, read_request,
+                                            outcome)
+
+    def _begin_physics_recovery(self, chip_id: int, op: FlashOp,
+                                read_request: Optional[Request],
+                                outcome) -> bool:
+        """Charge the voltage-shift retry ladder for a physics error.
+
+        Mirrors :meth:`_begin_read_recovery` but the rung count comes
+        from the sampled :class:`ReadOutcome` — each rung is one
+        re-read at a shifted reference voltage, then the escalated
+        soft-decision ECC mode, then parity reconstruction.  Latency is
+        charged per rung actually attempted."""
+        faults = self.stats.faults
+        t_read = self.timing.t_read
+        config = self._physics.config
+        addr = op.addr
+        if faults is not None:
+            faults.read_faults += 1
+            faults.physics_read_errors += 1
+            faults.voltage_shift_retries += outcome.shifts_tried
+            faults.ladder_reads += outcome.shifts_tried
+        if self._trace is not None:
+            self._trace.event("reliability.read_error", chip=chip_id,
+                              block=addr.block, page=addr.page,
+                              ber=outcome.ber, prob=outcome.probability)
+            for rung in range(outcome.shifts_tried):
+                shift = config.retry_shifts[rung]
+                self._trace.event(
+                    "reliability.retry_shift", chip=chip_id,
+                    block=addr.block, page=addr.page, shift=shift,
+                    recovered=int(outcome.recovered_shift is not None
+                                  and rung == outcome.shifts_tried - 1))
+        if self._metrics is not None:
+            self._metrics.counter("reliability.read_errors",
+                                  chip=chip_id).inc()
+        extra = outcome.shifts_tried * t_read
+        resolved = "retried"
+        if outcome.recovered_shift is None:
+            # Ladder exhausted: escalated (soft-decision) ECC mode.
+            if faults is not None:
+                faults.ecc_escalations += 1
+                faults.ladder_reads += config.ecc_escalation_reads
+            extra += config.ecc_escalation_reads * t_read
+            if outcome.uncorrectable:
+                if self.ftl.parity_covers(chip_id, addr):
+                    if faults is not None:
+                        faults.parity_reconstructions += 1
+                        faults.ladder_reads += self.ftl.wordlines
+                    extra += self.ftl.wordlines * t_read
+                    resolved = "reconstructed"
+                else:
+                    resolved = "lost"
+        if faults is not None:
+            faults.read_retries += 1
+        sim = self.sim
+        self._sim_push(
+            [sim.now + extra, 0, next(sim._seq),
+             self._finish_read_recovery,
+             (chip_id, op, read_request, resolved),
+             False, sim._cancelled])
+        return True
+
     def _handle_fault(self, chip_id: int, op: FlashOp,
                       read_request: Optional[Request], fault) -> bool:
         """Dispatch one injected fault.  Returns True when the op's
@@ -649,17 +770,22 @@ class StorageController:
         if faults is not None:
             faults.read_faults += 1
             faults.read_retries += 1
+            faults.ladder_reads += 1
+        # Per-rung itemised latency: a transient excursion costs exactly
+        # the one re-read; deeper rungs add only their own reads.
         extra = t_read  # the re-read
         resolved = "retried"
         if severity != "transient":
             plan = self._injector.plan
             if faults is not None:
                 faults.ecc_escalations += 1
+                faults.ladder_reads += plan.ecc_escalation_reads
             extra += plan.ecc_escalation_reads * t_read
             if severity == "uncorrectable":
                 if self.ftl.parity_covers(chip_id, op.addr):
                     if faults is not None:
                         faults.parity_reconstructions += 1
+                        faults.ladder_reads += self.ftl.wordlines
                     # XOR across the block's other LSB pages
                     extra += self.ftl.wordlines * t_read
                     resolved = "reconstructed"

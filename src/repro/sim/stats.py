@@ -110,6 +110,14 @@ class FaultStats:
     redriven_writes: int = 0
     salvaged_pages: int = 0
     reconstructed_pages: int = 0
+    #: itemised ladder accounting: extra page reads actually charged by
+    #: recovery ladders (one per retry rung, plus escalation strobes and
+    #: parity XOR reads), across both the injector and physics paths
+    ladder_reads: int = 0
+
+    #: physics-grounded error engine (repro.reliability.physics)
+    physics_read_errors: int = 0
+    voltage_shift_retries: int = 0
 
     #: bad-block management
     retired_blocks: int = 0

@@ -67,7 +67,10 @@ def _faulted_read(sim, controller, ftl, buffer, severity, covered):
     submitted = sim.now
     controller.submit(request)
     sim.run()
-    return request, sim.now - submitted
+    # Measure to the request's completion, not to simulation quiescence
+    # — reconstruction can queue follow-up relocation work that runs
+    # after the host read is answered.
+    return request, request.completed_at - submitted
 
 
 class TestProgramFailureRedrive:
@@ -165,6 +168,76 @@ class TestReadRetryLadder:
                 latencies[severity] = elapsed
         assert latencies[None] < latencies["transient"] \
             < latencies["ecc"] < latencies["uncorrectable"]
+
+
+class TestLadderTimingItemization:
+    """Exact per-rung latency accounting of the read-retry ladder.
+
+    Each rung must charge exactly its own page reads — one re-read for
+    a transient excursion, plus the escalated decode's extra strobes,
+    plus the parity XOR's per-word-line reads — and the same counts
+    must land in ``FaultStats.ladder_reads`` so the latency is
+    auditable from the stats alone.  The clean baseline comes from an
+    identically built system reading the same lpn (runs are
+    deterministic, so the difference isolates the ladder).
+    """
+
+    def _clean_elapsed(self, ftl_cls, covered):
+        sim, array, buffer, ftl, controller = _written_system(ftl_cls)
+        lpn, _ = _pick_lpn(ftl, buffer, covered)
+        request = Request(sim.now, RequestKind.READ, lpn, 1)
+        start = sim.now
+        controller.submit(request)
+        sim.run()
+        assert request.status == REQUEST_OK
+        return request.completed_at - start
+
+    def test_transient_costs_exactly_one_reread(self):
+        clean = self._clean_elapsed(PageFtl, covered=False)
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, elapsed = _faulted_read(sim, controller, ftl, buffer,
+                                         "transient", covered=False)
+        t_read = controller.timing.t_read
+        assert elapsed == pytest.approx(clean + t_read, rel=1e-12)
+        assert controller.stats.faults.ladder_reads == 1
+        assert request.status == REQUEST_RECOVERED
+
+    def test_ecc_escalation_adds_exactly_its_strobes(self):
+        clean = self._clean_elapsed(PageFtl, covered=False)
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, elapsed = _faulted_read(sim, controller, ftl, buffer,
+                                         "ecc", covered=False)
+        t_read = controller.timing.t_read
+        strobes = controller._injector.plan.ecc_escalation_reads
+        assert elapsed == pytest.approx(
+            clean + (1 + strobes) * t_read, rel=1e-12)
+        assert controller.stats.faults.ladder_reads == 1 + strobes
+
+    def test_parity_reconstruction_adds_exactly_wordline_reads(self):
+        clean = self._clean_elapsed(FlexFtl, covered=True)
+        sim, array, buffer, ftl, controller = _written_system(FlexFtl)
+        request, elapsed = _faulted_read(sim, controller, ftl, buffer,
+                                         "uncorrectable", covered=True)
+        t_read = controller.timing.t_read
+        strobes = controller._injector.plan.ecc_escalation_reads
+        assert elapsed == pytest.approx(
+            clean + (1 + strobes + ftl.wordlines) * t_read, rel=1e-12)
+        assert controller.stats.faults.ladder_reads == \
+            1 + strobes + ftl.wordlines
+
+    def test_uncovered_loss_charges_no_parity_reads(self):
+        clean = self._clean_elapsed(PageFtl, covered=False)
+        sim, array, buffer, ftl, controller = _written_system(PageFtl)
+        request, elapsed = _faulted_read(sim, controller, ftl, buffer,
+                                         "uncorrectable", covered=False)
+        t_read = controller.timing.t_read
+        strobes = controller._injector.plan.ecc_escalation_reads
+        # The ladder gives up after the escalated decode: data loss
+        # must not be billed for a reconstruction that never ran.
+        assert elapsed == pytest.approx(
+            clean + (1 + strobes) * t_read, rel=1e-12)
+        assert controller.stats.faults.ladder_reads == 1 + strobes
+        assert request.status == REQUEST_FAILED
 
 
 class TestGracefulDegradation:

@@ -210,7 +210,10 @@ class TestCommittedBenchGuards:
     def test_committed_guards_pass_their_recorded_budget(self):
         from pathlib import Path
 
-        from repro.perfbench.harness import TRACE_OVERHEAD_BUDGET_PCT
+        from repro.perfbench.harness import (
+            PHYSICS_OVERHEAD_BUDGET_PCT,
+            TRACE_OVERHEAD_BUDGET_PCT,
+        )
 
         root = Path(__file__).resolve().parent.parent
         bench_files = sorted(root.glob("BENCH_*.json"))
@@ -218,12 +221,15 @@ class TestCommittedBenchGuards:
         for path in bench_files:
             payload = json.loads(path.read_text())
             summary = payload.get("summary", {})
-            if "budget_pct" in summary:  # trace-overhead artifact
+            if "budget_pct" in summary:  # overhead artifact
                 assert summary["passed"] is True, (
                     f"{path.name} records passed: false — regenerate "
                     f"it or fix the regression it documents")
-                assert summary["budget_pct"] == \
-                    TRACE_OVERHEAD_BUDGET_PCT, (
+                # Physics-overhead artifacts carry the stress block;
+                # everything else is a trace-overhead artifact.
+                enforced = (PHYSICS_OVERHEAD_BUDGET_PCT
+                            if "physics" in payload
+                            else TRACE_OVERHEAD_BUDGET_PCT)
+                assert summary["budget_pct"] == enforced, (
                     f"{path.name} judged at {summary['budget_pct']}%, "
-                    f"but the enforced default is "
-                    f"{TRACE_OVERHEAD_BUDGET_PCT}%")
+                    f"but the enforced default is {enforced}%")

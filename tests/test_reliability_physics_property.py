@@ -1,0 +1,216 @@
+"""Property tests for the physics error model (satellite of PR 10).
+
+Seeded-random sweeps over the closed-form BER evaluator
+(:func:`repro.reliability.ber.expected_page_ber`) and its inputs,
+asserting the physical orderings the runtime engine relies on:
+
+* BER is monotone **non-decreasing** in P/E cycles and in retention
+  age — *at zero aggressors*.  The restriction is physical, not a
+  test convenience: aggressor coupling shifts cells right while
+  retention loss shifts them left, so with both present the shifts
+  partially cancel and the combined surface is legitimately
+  non-monotone in either axis alone.  The monotone axes are swept
+  from interference-free baselines; the aggressor axis is swept at
+  zero retention for the mirrored reason.
+* BER is monotone in read disturbs *everywhere*: disturb shifts only
+  the erased state, and always toward the read reference, so no
+  cancellation exists.
+* ECC page-failure probability is monotone in raw BER.
+* A full FPS fill never gives any word line *fewer* aggressors than
+  a legal RPS fill of the same block (the paper's core claim, stated
+  per word line, with :func:`random_rps_order` sampling the legal
+  RPS space).
+* Aggressor counts are monotone in program-order prefix length
+  (programs only ever add interference).
+* An unfinalised (LSB-only) word line never has a higher BER than
+  the same word line finalised — the SLC-like margin RPS exploits.
+
+Each property runs tens of seeded cases; together the module covers
+~200 cases, all closed-form (no Monte-Carlo), so the suite stays
+fast.  The differential checks against the Monte-Carlo oracle live in
+``tests/test_reliability_runtime_diff.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rps import fps_order, random_rps_order
+from repro.reliability.ber import (
+    OperatingCondition,
+    StressModel,
+    expected_page_ber,
+)
+from repro.reliability.ecc import EccConfig, page_failure_probability
+from repro.reliability.interference import aggressor_counts
+
+WORDLINES = 32
+
+#: Ascending stress grids the monotone sweeps draw from.
+PE_GRID = (0, 250, 500, 1000, 2000, 3000, 4500, 6000, 8000)
+RETENTION_GRID = (0.0, 1.0, 24.0, 250.0, 1000.0, 8760.0, 26280.0,
+                  100000.0)
+DISTURB_GRID = (0, 8, 64, 1000, 30000, 10 ** 6)
+AGGRESSOR_GRID = (0, 1, 2, 3, 4)
+
+PAGES = ("lsb", "msb", "both")
+
+PE_SEEDS = range(30)
+RETENTION_SEEDS = range(30, 60)
+AGGRESSOR_SEEDS = range(60, 90)
+DISTURB_SEEDS = range(90, 120)
+ECC_SEEDS = range(120, 150)
+ORDER_SEEDS = range(150, 190)
+
+
+def _ascending_subgrid(rng, grid, k=4):
+    """A random ascending sub-grid of ``grid`` with ``k`` points."""
+    return sorted(rng.sample(list(grid), k))
+
+
+def _assert_nondecreasing(values, context):
+    for prev, cur in zip(values, values[1:]):
+        assert cur >= prev - 1e-18, (
+            f"BER not monotone ({context}): {values}")
+
+
+@pytest.mark.parametrize("seed", PE_SEEDS)
+def test_ber_monotone_in_pe_cycles_without_aggressors(seed):
+    rng = random.Random(seed)
+    retention = rng.choice(RETENTION_GRID)
+    disturbs = rng.choice(DISTURB_GRID)
+    page = rng.choice(PAGES)
+    bers = [
+        expected_page_ber(
+            0, OperatingCondition(pe, retention, disturbs), page=page)
+        for pe in _ascending_subgrid(rng, PE_GRID)
+    ]
+    _assert_nondecreasing(
+        bers, f"pe sweep, ret={retention}, disturbs={disturbs}")
+
+
+@pytest.mark.parametrize("seed", RETENTION_SEEDS)
+def test_ber_monotone_in_retention_without_aggressors(seed):
+    rng = random.Random(seed)
+    pe = rng.choice(PE_GRID)
+    disturbs = rng.choice(DISTURB_GRID)
+    page = rng.choice(PAGES)
+    bers = [
+        expected_page_ber(
+            0, OperatingCondition(pe, hours, disturbs), page=page)
+        for hours in _ascending_subgrid(rng, RETENTION_GRID)
+    ]
+    _assert_nondecreasing(
+        bers, f"retention sweep, pe={pe}, disturbs={disturbs}")
+
+
+@pytest.mark.parametrize("seed", AGGRESSOR_SEEDS)
+def test_ber_monotone_in_aggressors_without_retention(seed):
+    rng = random.Random(seed)
+    pe = rng.choice(PE_GRID)
+    disturbs = rng.choice(DISTURB_GRID)
+    page = rng.choice(PAGES)
+    bers = [
+        expected_page_ber(
+            k, OperatingCondition(pe, 0.0, disturbs), page=page)
+        for k in AGGRESSOR_GRID
+    ]
+    _assert_nondecreasing(
+        bers, f"aggressor sweep, pe={pe}, disturbs={disturbs}")
+
+
+@pytest.mark.parametrize("seed", DISTURB_SEEDS)
+def test_ber_monotone_in_read_disturbs_anywhere(seed):
+    # Disturb needs no interference-free baseline: it shifts only the
+    # erased state and only toward the read reference, so it compounds
+    # with (never cancels against) retention and aggressor shifts.
+    rng = random.Random(seed)
+    pe = rng.choice(PE_GRID)
+    retention = rng.choice(RETENTION_GRID)
+    aggressors = rng.choice(AGGRESSOR_GRID)
+    page = rng.choice(PAGES)
+    bers = [
+        expected_page_ber(
+            aggressors, OperatingCondition(pe, retention, disturbs),
+            page=page)
+        for disturbs in _ascending_subgrid(rng, DISTURB_GRID)
+    ]
+    _assert_nondecreasing(
+        bers,
+        f"disturb sweep, pe={pe}, ret={retention}, agg={aggressors}")
+
+
+def test_retention_aggressor_cancellation_is_real():
+    """Document why the monotone sweeps pin the opposing axis to zero.
+
+    With aggressors present, adding retention *lowers* the BER over
+    part of the surface (the left-shift walks the right-shifted cells
+    back toward their nominal positions).  If this ever stops holding
+    the model changed character and the sweep restrictions above
+    should be revisited.
+    """
+    stressed = OperatingCondition(pe_cycles=3000, retention_hours=0.0)
+    aged = OperatingCondition(pe_cycles=3000, retention_hours=8760.0)
+    assert expected_page_ber(4, aged) < expected_page_ber(4, stressed)
+
+
+@pytest.mark.parametrize("seed", ECC_SEEDS)
+def test_ecc_failure_monotone_in_raw_ber(seed):
+    rng = random.Random(seed)
+    ecc = EccConfig(codeword_bytes=rng.choice((512, 1024, 2048)),
+                    correctable_bits=rng.choice((8, 16, 40, 72)))
+    page_size = rng.choice((2048, 4096, 8192))
+    bers = sorted(rng.uniform(1e-8, 2e-2) for _ in range(6))
+    pfails = [page_failure_probability(ber, page_size, ecc)
+              for ber in bers]
+    for prev, cur in zip(pfails, pfails[1:]):
+        assert cur >= prev - 1e-15
+    assert all(0.0 <= p <= 1.0 for p in pfails)
+
+
+@pytest.mark.parametrize("seed", ORDER_SEEDS)
+def test_fps_aggressors_dominate_rps_per_wordline(seed):
+    fps = aggressor_counts(fps_order(WORDLINES), WORDLINES)
+    rps = aggressor_counts(
+        random_rps_order(WORDLINES, random.Random(seed)), WORDLINES)
+    assert len(fps) == len(rps) == WORDLINES
+    for wordline, (fps_count, rps_count) in enumerate(zip(fps, rps)):
+        assert fps_count >= rps_count, (
+            f"wordline {wordline}: FPS {fps_count} < RPS {rps_count}")
+
+
+@pytest.mark.parametrize("seed", ORDER_SEEDS)
+def test_aggressor_counts_monotone_in_prefix(seed):
+    order = random_rps_order(WORDLINES, random.Random(seed))
+    previous = [0] * WORDLINES
+    for length in range(1, len(order) + 1):
+        counts = aggressor_counts(order[:length], WORDLINES)
+        for wordline in range(WORDLINES):
+            assert counts[wordline] >= previous[wordline]
+        previous = counts
+
+
+@pytest.mark.parametrize("pe", (0, 3000, 8000))
+@pytest.mark.parametrize("retention", (0.0, 8760.0))
+@pytest.mark.parametrize("disturbs", (0, 10 ** 5))
+def test_unfinalized_wordline_never_worse_than_finalized(
+        pe, retention, disturbs):
+    condition = OperatingCondition(pe, retention, disturbs)
+    unfinalized = expected_page_ber(0, condition, page="lsb",
+                                    finalized=False)
+    finalized = expected_page_ber(0, condition, page="lsb",
+                                  finalized=True)
+    assert unfinalized <= finalized
+
+
+def test_stress_model_shift_signs():
+    """The shift conventions the retry ladder's defaults rely on."""
+    stress = StressModel()
+    aged = OperatingCondition(pe_cycles=3000, retention_hours=8760.0,
+                              read_disturbs=10 ** 4)
+    assert stress.retention_shift(aged) < 0.0
+    assert stress.disturb_shift(aged) > 0.0
+    assert stress.retention_shift(
+        OperatingCondition(retention_hours=0.0)) == 0.0
+    assert stress.disturb_shift(
+        OperatingCondition(read_disturbs=0)) == 0.0
